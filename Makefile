@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench doc clean examples
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerates every paper figure/scenario (see EXPERIMENTS.md).
+bench:
+	dune exec bench/main.exe
+
+# A subset, e.g. `make bench-E3 bench-E5`.
+bench-%:
+	dune exec bench/main.exe -- $*
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/ehr_cross_domain.exe
+	dune exec examples/visiting_doctor.exe
+	dune exec examples/anonymous_clinic.exe
+	dune exec examples/accident_emergency.exe
+	dune exec examples/night_shift.exe
+	dune exec examples/trust_marketplace.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
