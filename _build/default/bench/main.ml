@@ -1,0 +1,719 @@
+(* The benchmark harness: regenerates every figure/scenario of the paper as a
+   measurable experiment (DESIGN.md §4, results recorded in EXPERIMENTS.md).
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- E1 E5   -- run a subset
+
+   The paper is an architecture paper: its "evaluation" is five figures plus
+   scenario walkthroughs, so each experiment reproduces a figure's scenario
+   and reports the quantities the architecture determines — virtual-time
+   latencies, message counts, administrative costs and accuracy shapes.
+   Microbenchmarks (E2/E4) use Bechamel on wall-clock time; scenario
+   experiments run on the deterministic simulator. *)
+
+module World = Oasis_core.World
+module Service = Oasis_core.Service
+module Principal = Oasis_core.Principal
+module Protocol = Oasis_core.Protocol
+module Domain = Oasis_domain.Domain
+module Civ = Oasis_domain.Civ
+module Sla = Oasis_domain.Sla
+module Anonymity = Oasis_domain.Anonymity
+module Simulation = Oasis_trust.Simulation
+module Rbac96 = Oasis_baseline.Rbac96
+module Delegation = Oasis_baseline.Delegation
+module Acl = Oasis_baseline.Acl
+module Network = Oasis_sim.Network
+module Broker = Oasis_event.Broker
+module Env = Oasis_policy.Env
+module Rule = Oasis_policy.Rule
+module Term = Oasis_policy.Term
+module Solve = Oasis_policy.Solve
+module Rmc = Oasis_cert.Rmc
+module Appointment = Oasis_cert.Appointment
+module Codec = Oasis_cert.Codec
+module Secret = Oasis_crypto.Secret
+module Sha256 = Oasis_crypto.Sha256
+module Hmac = Oasis_crypto.Hmac
+module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let ok = function
+  | Ok v -> v
+  | Error d -> failwith ("unexpected denial: " ^ Protocol.denial_to_string d)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel helper: run a set of wall-clock microbenchmarks and print
+   one row per test (ns/run, r²).                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_table tests =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let test = Test.make_grouped ~name:"g" tests in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan in
+        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "  %-44s %14s %8s\n" "operation" "ns/op" "r2";
+  List.iter (fun (name, ns, r2) -> Printf.printf "  %-44s %14.1f %8.3f\n" name ns r2) rows
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Fig. 1: role dependency through prerequisite roles             *)
+(* ------------------------------------------------------------------ *)
+
+(* Chain of services s0..sd; each si requires s(i-1)'s role (monitored). *)
+let build_chain world depth =
+  let root = Service.create world ~name:"s0" ~policy:"initial r0 <- env:eq(1, 1);" () in
+  let services = Array.make (depth + 1) root in
+  for i = 1 to depth do
+    services.(i) <-
+      Service.create world
+        ~name:(Printf.sprintf "s%d" i)
+        ~policy:(Printf.sprintf "r%d <- *r%d@s%d;" i (i - 1) (i - 1))
+        ()
+  done;
+  services
+
+let e1 () =
+  header "E1 (Fig. 1) Role dependency: activation cost vs prerequisite depth";
+  Printf.printf
+    "  The principal activates r0..rd in turn; rd's activation presents the whole\n\
+    \  session wallet, so the issuing service validates d remote credentials.\n\n";
+  Printf.printf "  %5s | %19s | %14s | %12s | %16s\n" "depth" "last act. (virt ms)"
+    "msgs last act." "bytes" "session total msgs";
+  List.iter
+    (fun depth ->
+      let world = World.create ~seed:1 ~net_latency:0.001 () in
+      let services = build_chain world depth in
+      let p = Principal.create world ~name:"p" in
+      let net = World.network world in
+      let session = Principal.start_session p in
+      World.run_proc world (fun () ->
+          for i = 0 to depth - 1 do
+            ignore
+              (ok (Principal.activate p session services.(i) ~role:(Printf.sprintf "r%d" i) ()))
+          done);
+      let total_before = (Network.stats net).Network.sent in
+      Network.reset_stats net;
+      let t0 = World.now world in
+      World.run_proc world (fun () ->
+          ignore
+            (ok
+               (Principal.activate p session services.(depth) ~role:(Printf.sprintf "r%d" depth) ())));
+      let dt = (World.now world -. t0) *. 1000.0 in
+      let last = Network.stats net in
+      Printf.printf "  %5d | %19.1f | %14d | %12d | %16d\n" depth dt last.Network.sent
+        last.Network.bytes_sent
+        (total_before + last.Network.sent))
+    [ 1; 2; 4; 8; 16; 32 ];
+  Printf.printf
+    "\n  ablation: selective presentation (only the needed prerequisite RMC)\n";
+  Printf.printf "  %5s | %19s | %14s | %18s\n" "depth" "last act. (virt ms)" "msgs last act."
+    "session total msgs";
+  List.iter
+    (fun depth ->
+      let world = World.create ~seed:1 ~net_latency:0.001 () in
+      let services = build_chain world depth in
+      let p = Principal.create world ~name:"p" in
+      let net = World.network world in
+      let session = Principal.start_session p in
+      let selective i =
+        (* Present exactly the prerequisite credential the rule needs. *)
+        let creds =
+          if i = 0 then Protocol.no_credentials
+          else
+            {
+              Protocol.rmcs =
+                List.filter
+                  (fun (r : Rmc.t) -> r.role = Printf.sprintf "r%d" (i - 1))
+                  (Principal.session_rmcs session);
+              appointments = [];
+            }
+        in
+        World.run_proc world (fun () ->
+            ignore
+              (ok
+                 (Principal.activate_with p session services.(i)
+                    ~role:(Printf.sprintf "r%d" i) ~creds ())))
+      in
+      for i = 0 to depth - 1 do
+        selective i
+      done;
+      let total_before = (Network.stats net).Network.sent in
+      Network.reset_stats net;
+      let t0 = World.now world in
+      selective depth;
+      let dt = (World.now world -. t0) *. 1000.0 in
+      let last_msgs = (Network.stats net).Network.sent in
+      Printf.printf "  %5d | %19.1f | %14d | %18d\n" depth dt last_msgs (total_before + last_msgs))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Fig. 2: the two service paths, wall-clock                      *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  header "E2 (Fig. 2) Service paths: role entry and service use, wall-clock";
+  let world = World.create ~seed:2 ~net_latency:0.0 ~notify_latency:0.0 () in
+  let svc =
+    Service.create world ~name:"svc"
+      ~policy:
+        {|
+          initial plain <- env:eq(1, 1);
+          initial fat(a, b, c, d) <- env:four(a, b, c, d);
+          priv use(u) <- plain;
+        |}
+      ()
+  in
+  Env.register (Service.env svc) "four" (fun args -> List.length args = 4);
+  let p = Principal.create world ~name:"p" in
+  let session = Principal.start_session p in
+  World.run_proc world (fun () -> ignore (ok (Principal.activate p session svc ~role:"plain" ())));
+  let pin = Some (Value.Int 7) in
+  let open Bechamel in
+  bechamel_table
+    [
+      (* Fresh session per run: the presented wallet stays constant-size. *)
+      Test.make ~name:"role entry (unparametrised)"
+        (Staged.stage (fun () ->
+             World.run_proc world (fun () ->
+                 let s = Principal.start_session p in
+                 ignore (ok (Principal.activate p s svc ~role:"plain" ())))));
+      Test.make ~name:"role entry (4 parameters)"
+        (Staged.stage (fun () ->
+             World.run_proc world (fun () ->
+                 let s = Principal.start_session p in
+                 ignore
+                   (ok
+                      (Principal.activate p s svc ~role:"fat" ~args:[ pin; pin; pin; pin ] ())))));
+      Test.make ~name:"service use (authorize + audit)"
+        (Staged.stage (fun () ->
+             World.run_proc world (fun () ->
+                 ignore
+                   (ok (Principal.invoke p session svc ~privilege:"use" ~args:[ Value.Int 1 ])))));
+    ];
+  Printf.printf "\n  solver only: conditions per rule vs evaluation time\n";
+  let solver_test n =
+    let creds =
+      List.init n (fun i ->
+          {
+            Solve.cred_id = Ident.make "cert" i;
+            issuer = Ident.make "svc" 0;
+            cred_name = Printf.sprintf "c%d" i;
+            cred_args = [ Value.Int i ];
+          })
+    in
+    let ctx =
+      {
+        Solve.find_rmcs =
+          (fun ~service:_ ~name ->
+            List.filter (fun (c : Solve.cred) -> String.equal c.cred_name name) creds);
+        find_appointments = (fun ~issuer:_ ~name:_ -> []);
+        env_check = (fun _ _ -> true);
+        env_enumerate = (fun _ -> []);
+      }
+    in
+    let rule =
+      Rule.activation ~role:"r"
+        ~params:[ Term.Var "x0" ]
+        (List.init n (fun i ->
+             ( false,
+               Rule.Prereq
+                 {
+                   service = None;
+                   name = Printf.sprintf "c%d" i;
+                   args = [ Term.Var (Printf.sprintf "x%d" i) ];
+                 } )))
+    in
+    Bechamel.Test.make
+      ~name:(Printf.sprintf "solve activation, %2d conditions" n)
+      (Bechamel.Staged.stage (fun () -> ignore (Solve.activation ctx rule ())))
+  in
+  bechamel_table (List.map solver_test [ 1; 2; 4; 8; 16 ])
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Fig. 3: the cross-domain EHR session                           *)
+(* ------------------------------------------------------------------ *)
+
+let e3_world ~caching =
+  let world = World.create ~seed:3 ~net_latency:0.002 () in
+  let hospital = Domain.create world ~name:"h" () in
+  let config = { Service.default_config with cache_remote_validation = caching } in
+  let portal =
+    Domain.add_service hospital ~name:"portal"
+      ~policy:
+        {|
+          initial logged_in(u) <- appt:employee(u)@h.civ;
+          doctor(u) <- *logged_in(u), *appt:qualified(u)@h.civ;
+          treating_doctor(doc, pat) <- *doctor(doc), *env:assigned(doc, pat);
+        |}
+      ()
+  in
+  let ehr =
+    Domain.add_service hospital ~name:"ehr" ~config
+      ~policy:"priv request_ehr(doc, pat) <- treating_doctor(doc, pat)@h.portal;" ()
+  in
+  let national = Domain.create world ~name:"n" () in
+  let records =
+    Domain.add_service national ~name:"records" ~config
+      ~policy:"priv deliver(h, doc, pat) <- hospital(h);" ()
+  in
+  ignore
+    (Sla.establish world ~name:"sla" ~between:records ~and_:ehr
+       ~clauses:
+         [
+           Sla.Accept_appointment
+             {
+               at = "n.records";
+               role = "hospital";
+               params = [ Term.Var "x" ];
+               kind = "accredited";
+               cert_args = [ Term.Var "x" ];
+               issuer = "n.civ";
+               monitored = true;
+               extra = [];
+               initial = true;
+             };
+         ]);
+  Env.declare_fact (Domain.env hospital) "assigned";
+  let agent = Principal.create world ~name:"agent" in
+  let accreditation =
+    Civ.issue (Domain.civ national) ~kind:"accredited"
+      ~args:[ Value.Id (Service.id portal) ]
+      ~holder:(Principal.id agent) ~holder_key:(Principal.longterm_public agent) ()
+  in
+  Principal.grant_appointment agent accreditation;
+  let agent_session = Principal.start_session agent in
+  Service.register_operation ehr "request_ehr" (fun ~principal:_ args ->
+      match args with
+      | [ Value.Id doc; Value.Int pat ] -> (
+          (if
+             not
+               (List.exists
+                  (fun (r : Rmc.t) -> r.role = "hospital")
+                  (Principal.session_rmcs agent_session))
+           then ignore (ok (Principal.activate agent agent_session records ~role:"hospital" ())));
+          match
+            Principal.invoke agent agent_session records ~privilege:"deliver"
+              ~args:[ Value.Id (Service.id portal); Value.Id doc; Value.Int pat ]
+          with
+          | Ok r -> r
+          | Error d -> failwith (Protocol.denial_to_string d))
+      | _ -> None);
+  let carol = Principal.create world ~name:"carol" in
+  List.iter
+    (fun kind ->
+      Principal.grant_appointment carol
+        (Civ.issue (Domain.civ hospital) ~kind
+           ~args:[ Value.Id (Principal.id carol) ]
+           ~holder:(Principal.id carol) ~holder_key:(Principal.longterm_public carol) ()))
+    [ "employee"; "qualified" ];
+  Env.assert_fact (Domain.env hospital) "assigned" [ Value.Id (Principal.id carol); Value.Int 1 ];
+  World.settle world;
+  let session = Principal.start_session carol in
+  World.run_proc world (fun () ->
+      List.iter
+        (fun role -> ignore (ok (Principal.activate carol session portal ~role ())))
+        [ "logged_in"; "doctor"; "treating_doctor" ]);
+  (world, ehr, carol, session)
+
+let e3 () =
+  header "E3 (Fig. 3) Cross-domain EHR invocation: caching ablation";
+  Printf.printf
+    "  request-EHR end to end: doctor -> hospital EHR -> national records, with\n\
+    \  validation callbacks. Cached verdicts are invalidated via event channels.\n\n";
+  Printf.printf "  %-10s | %6s | %10s | %12s | %10s | %13s\n" "config" "call#" "virt ms"
+    "network msgs" "bytes" "callbacks out";
+  List.iter
+    (fun caching ->
+      let world, ehr, carol, session = e3_world ~caching in
+      let net = World.network world in
+      for call = 1 to 5 do
+        Network.reset_stats net;
+        let cb_before = (Service.stats ehr).Service.callbacks_out in
+        let t0 = World.now world in
+        World.run_proc world (fun () ->
+            ignore
+              (ok
+                 (Principal.invoke carol session ehr ~privilege:"request_ehr"
+                    ~args:[ Value.Id (Principal.id carol); Value.Int 1 ])));
+        let dt = (World.now world -. t0) *. 1000.0 in
+        let st = Network.stats net in
+        let cb = (Service.stats ehr).Service.callbacks_out - cb_before in
+        if call <= 2 || call = 5 then
+          Printf.printf "  %-10s | %6d | %10.1f | %12d | %10d | %13d\n"
+            (if caching then "cached" else "uncached")
+            call dt st.Network.sent st.Network.bytes_sent cb
+      done)
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Fig. 4: RMC engineering microbenchmarks                        *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4 (Fig. 4) Certificate engineering: sign/validate wall-clock";
+  let secret = Secret.of_string "bench-secret-0123456789abcdef012" in
+  let issuer = Ident.make "svc" 1 in
+  let args = [ Value.Id (Ident.make "principal" 1); Value.Int 42 ] in
+  let rmc =
+    Rmc.issue ~secret ~principal_key:"key" ~id:(Ident.make "cert" 1) ~issuer
+      ~role:"treating_doctor" ~args ~issued_at:1.0
+  in
+  let tampered = Rmc.with_args rmc [ Value.Id (Ident.make "principal" 2); Value.Int 42 ] in
+  let appt =
+    Appointment.issue ~master_secret:secret ~epoch:3 ~id:(Ident.make "cert" 2) ~issuer
+      ~kind:"qualified" ~args ~holder:"holder-key" ~issued_at:1.0 ~expires_at:100.0 ()
+  in
+  let encoded = Codec.rmc_to_string rmc in
+  let payload = String.make 1024 'x' in
+  let open Bechamel in
+  bechamel_table
+    [
+      Test.make ~name:"RMC issue (sign)"
+        (Staged.stage (fun () ->
+             ignore
+               (Rmc.issue ~secret ~principal_key:"key" ~id:(Ident.make "cert" 1) ~issuer
+                  ~role:"treating_doctor" ~args ~issued_at:1.0)));
+      Test.make ~name:"RMC verify (valid)"
+        (Staged.stage (fun () -> ignore (Rmc.verify ~secret ~principal_key:"key" rmc)));
+      Test.make ~name:"RMC verify (tampered)"
+        (Staged.stage (fun () -> ignore (Rmc.verify ~secret ~principal_key:"key" tampered)));
+      Test.make ~name:"RMC verify (stolen: wrong key)"
+        (Staged.stage (fun () -> ignore (Rmc.verify ~secret ~principal_key:"thief" rmc)));
+      Test.make ~name:"appointment verify (epoch+expiry)"
+        (Staged.stage (fun () ->
+             ignore (Appointment.verify ~master_secret:secret ~current_epoch:3 ~now:5.0 appt)));
+      Test.make ~name:"codec encode RMC"
+        (Staged.stage (fun () -> ignore (Codec.rmc_to_string rmc)));
+      Test.make ~name:"codec decode RMC"
+        (Staged.stage (fun () -> ignore (Codec.rmc_of_string encoded)));
+      Test.make ~name:"HMAC-SHA256 (1 KiB)"
+        (Staged.stage (fun () -> ignore (Hmac.mac ~key:"k" payload)));
+      Test.make ~name:"SHA-256 (1 KiB)"
+        (Staged.stage (fun () -> ignore (Sha256.digest_string payload)));
+    ];
+  Printf.printf "\n  certificate size vs parameter count (wire bytes)\n";
+  Printf.printf "  %8s | %10s | %12s\n" "params" "RMC" "appointment";
+  List.iter
+    (fun n ->
+      let args = List.init n (fun i -> Value.Int i) in
+      let rmc =
+        Rmc.issue ~secret ~principal_key:"key" ~id:(Ident.make "cert" 9) ~issuer ~role:"role"
+          ~args ~issued_at:1.0
+      in
+      let appt =
+        Appointment.issue ~master_secret:secret ~epoch:0 ~id:(Ident.make "cert" 10) ~issuer
+          ~kind:"kind" ~args ~holder:"holder" ~issued_at:1.0 ()
+      in
+      Printf.printf "  %8d | %10d | %12d\n" n (Rmc.size_bytes rmc) (Appointment.size_bytes appt))
+    [ 0; 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Fig. 5: the revocation cascade and the monitoring ablation     *)
+(* ------------------------------------------------------------------ *)
+
+(* A tree of services: a root plus [fanout] children per node to [depth]
+   levels; each node's role depends (monitored) on its parent's. *)
+let build_tree world ~depth ~fanout =
+  let counter = ref 0 in
+  let rec spawn_children parent level acc =
+    if level > depth then acc
+    else
+      List.concat_map
+        (fun _ ->
+          incr counter;
+          let name = Printf.sprintf "t%d" !counter in
+          let service =
+            Service.create world ~name ~policy:(Printf.sprintf "role <- *role@%s;" parent) ()
+          in
+          (name, service, level) :: spawn_children name (level + 1) [])
+        (List.init fanout Fun.id)
+      @ acc
+  in
+  let root = Service.create world ~name:"troot" ~policy:"initial role <- env:eq(1, 1);" () in
+  ("troot", root, 0) :: spawn_children "troot" 1 []
+
+let activate_tree world nodes p =
+  let session = Principal.start_session p in
+  let sorted = List.stable_sort (fun (_, _, l1) (_, _, l2) -> compare l1 l2) nodes in
+  World.run_proc world (fun () ->
+      List.iter
+        (fun (_, service, _) -> ignore (ok (Principal.activate p session service ~role:"role" ())))
+        sorted);
+  session
+
+let tree_alive nodes =
+  List.fold_left (fun acc (_, s, _) -> acc + List.length (Service.active_roles s)) 0 nodes
+
+let e5 () =
+  header "E5 (Fig. 5) Active security: revocation cascade";
+  Printf.printf "  change-event monitoring; notification latency 1 ms per hop\n\n";
+  Printf.printf "  %5s %6s %6s | %18s | %13s | %10s\n" "depth" "fanout" "roles"
+    "collapse (virt ms)" "notifications" "net msgs";
+  let cascade ~depth ~fanout =
+    let world = World.create ~seed:5 ~net_latency:0.001 ~notify_latency:0.001 () in
+    let nodes = build_tree world ~depth ~fanout in
+    let p = Principal.create world ~name:"p" in
+    let session = activate_tree world nodes p in
+    let roles = tree_alive nodes in
+    let broker = World.broker world in
+    Broker.reset_stats broker;
+    Network.reset_stats (World.network world);
+    let _, root, _ = List.find (fun (name, _, _) -> name = "troot") nodes in
+    let root_rmc =
+      List.find
+        (fun (r : Rmc.t) -> Ident.equal r.issuer (Service.id root))
+        (Principal.session_rmcs session)
+    in
+    let t0 = World.now world in
+    ignore (Service.revoke_certificate root root_rmc.Rmc.id ~reason:"cascade");
+    (* Step until the tree is dead, recording the instant it happens. *)
+    let engine = World.engine world in
+    let rec drive () =
+      if tree_alive nodes > 0 && Oasis_sim.Engine.step engine then drive ()
+    in
+    drive ();
+    let dt = (World.now world -. t0) *. 1000.0 in
+    World.settle world;
+    let stats = Broker.stats broker in
+    Printf.printf "  %5d %6d %6d | %18.1f | %13d | %10d\n" depth fanout roles dt
+      stats.Broker.notified
+      (Network.stats (World.network world)).Network.sent;
+    assert (tree_alive nodes = 0)
+  in
+  List.iter
+    (fun (d, f) -> cascade ~depth:d ~fanout:f)
+    [ (1, 1); (2, 2); (3, 2); (4, 2); (2, 4); (6, 1); (10, 1) ];
+
+  Printf.printf "\n  monitoring ablation: change events vs heartbeats (chain depth 4)\n";
+  Printf.printf "  %-22s | %18s | %17s\n" "mode" "collapse (virt s)" "events over 60 s";
+  let ablation monitoring label =
+    let world = World.create ~seed:6 ~net_latency:0.001 ~notify_latency:0.001 ~monitoring () in
+    let services = build_chain world 4 in
+    let p = Principal.create world ~name:"p" in
+    let session = Principal.start_session p in
+    World.run_proc world (fun () ->
+        for i = 0 to 4 do
+          ignore (ok (Principal.activate p session services.(i) ~role:(Printf.sprintf "r%d" i) ()))
+        done);
+    let broker = World.broker world in
+    Broker.reset_stats broker;
+    World.run_until world (World.now world +. 60.0);
+    let steady = (Broker.stats broker).Broker.published in
+    let root_rmc = List.find (fun (r : Rmc.t) -> r.role = "r0") (Principal.session_rmcs session) in
+    let t0 = World.now world in
+    ignore (Service.revoke_certificate services.(0) root_rmc.Rmc.id ~reason:"x");
+    let rec until_dead limit =
+      if limit <= 0 then ()
+      else if Array.for_all (fun s -> List.length (Service.active_roles s) = 0) services then ()
+      else begin
+        World.run_until world (World.now world +. 0.25);
+        until_dead (limit - 1)
+      end
+    in
+    until_dead 400;
+    let collapse = World.now world -. t0 in
+    Printf.printf "  %-22s | %18.2f | %17d\n" label collapse steady
+  in
+  ablation World.Change_events "change events";
+  ablation (World.Heartbeats { period = 1.0; deadline = 2.5 }) "heartbeats 1s/2.5s";
+  ablation (World.Heartbeats { period = 5.0; deadline = 12.5 }) "heartbeats 5s/12.5s"
+
+(* ------------------------------------------------------------------ *)
+(* E6 — administrative scalability vs baselines                        *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  header "E6 Administrative cost: OASIS appointments vs RBAC96 vs ACLs";
+  Printf.printf
+    "  Workload: N staff join; each may access O objects; 10%% of staff leave.\n\
+    \  Counting administrative state-changing operations (Sect. 1's claim).\n\n";
+  Printf.printf "  %8s %8s | %12s | %12s | %12s\n" "staff" "objects" "ACL ops" "RBAC96 ops"
+    "OASIS certs";
+  List.iter
+    (fun (n, objects) ->
+      let leavers = max 1 (n / 10) in
+      let acl = Acl.create () in
+      for o = 1 to objects do
+        Acl.add_object acl (Printf.sprintf "obj%d" o)
+      done;
+      for u = 1 to n do
+        for o = 1 to objects do
+          Acl.grant acl ~principal:(Ident.make "u" u)
+            ~obj:(Printf.sprintf "obj%d" o)
+            ~operation:"read"
+        done
+      done;
+      for u = 1 to leavers do
+        ignore (Acl.offboard acl (Ident.make "u" u))
+      done;
+      let rbac = Rbac96.create () in
+      Rbac96.add_role rbac "staff";
+      for o = 1 to objects do
+        Rbac96.grant_permission rbac "staff"
+          { Rbac96.operation = "read"; target = Printf.sprintf "obj%d" o }
+      done;
+      for u = 1 to n do
+        Rbac96.add_user rbac (Ident.make "u" u);
+        Rbac96.assign_user rbac (Ident.make "u" u) "staff"
+      done;
+      for u = 1 to leavers do
+        Rbac96.deassign_user rbac (Ident.make "u" u) "staff"
+      done;
+      (* OASIS: one appointment per join, one revocation per leave; object
+         policy is one authorization rule, not per-object state. *)
+      let oasis_ops = n + leavers + 1 in
+      Printf.printf "  %8d %8d | %12d | %12d | %12d\n" n objects (Acl.admin_ops acl)
+        (Rbac96.admin_ops rbac) oasis_ops)
+    [ (100, 50); (1000, 50); (1000, 200); (5000, 200) ];
+
+  Printf.printf "\n  revocation blast radius: RBDM0 delegation chains vs appointments\n";
+  Printf.printf "  %14s | %18s | %18s\n" "chain length" "RBDM0 torn down" "OASIS revocations";
+  List.iter
+    (fun len ->
+      let rbac = Rbac96.create () in
+      Rbac96.add_role rbac "doctor";
+      for u = 0 to len do
+        Rbac96.add_user rbac (Ident.make "u" u)
+      done;
+      Rbac96.assign_user rbac (Ident.make "u" 0) "doctor";
+      let del = Delegation.create rbac ~max_depth:(len + 1) in
+      for u = 0 to len - 1 do
+        match
+          Delegation.delegate del ~from_user:(Ident.make "u" u) ~to_user:(Ident.make "u" (u + 1))
+            ~role:"doctor"
+        with
+        | Ok () -> ()
+        | Error e -> failwith e
+      done;
+      let blast =
+        Delegation.revoke del ~from_user:(Ident.make "u" 0) ~to_user:(Ident.make "u" 1)
+          ~role:"doctor"
+      in
+      Printf.printf "  %14d | %18d | %18d\n" len blast 1)
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Sect. 5 scenarios: validation round trips                      *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  header "E7 (Sect. 5) Inter-domain scenarios: validation round trips";
+  Printf.printf "  %-34s | %16s | %16s\n" "scenario" "callbacks (1st)" "callbacks (5th)";
+  let visiting ~caching =
+    let world = World.create ~seed:7 () in
+    let home = Domain.create world ~name:"home" () in
+    let config = { Service.default_config with cache_remote_validation = caching } in
+    let host =
+      Service.create world ~name:"host" ~config
+        ~policy:"initial visiting(u) <- *appt:employed(u)@home.civ;" ()
+    in
+    let doctor = Principal.create world ~name:"doc" in
+    Principal.grant_appointment doctor
+      (Civ.issue (Domain.civ home) ~kind:"employed"
+         ~args:[ Value.Id (Principal.id doctor) ]
+         ~holder:(Principal.id doctor) ~holder_key:(Principal.longterm_public doctor) ());
+    World.settle world;
+    let counts =
+      List.init 5 (fun _ ->
+          let before = (Service.stats host).Service.callbacks_out in
+          World.run_proc world (fun () ->
+              let s = Principal.start_session doctor in
+              ignore (ok (Principal.activate doctor s host ~role:"visiting" ())));
+          (Service.stats host).Service.callbacks_out - before)
+    in
+    (List.nth counts 0, List.nth counts 4)
+  in
+  let f1, f5 = visiting ~caching:false in
+  Printf.printf "  %-34s | %16d | %16d\n" "visiting doctor, no cache" f1 f5;
+  let c1, c5 = visiting ~caching:true in
+  Printf.printf "  %-34s | %16d | %16d\n" "visiting doctor, cached" c1 c5;
+  let world = World.create ~seed:8 () in
+  let insurer = Domain.create world ~name:"ins" () in
+  let clinic = Service.create world ~name:"clinic" ~policy:"initial noop <- env:eq(1,1);" () in
+  Service.add_activation_rule clinic
+    (Anonymity.member_role_rule ~scheme:"insured" ~civ_name:"ins.civ" ~role:"patient");
+  let member = Principal.create world ~name:"member" in
+  let membership =
+    Anonymity.enroll ~civ:(Domain.civ insurer) ~member ~scheme:"insured" ~expires_at:1e6
+  in
+  World.settle world;
+  let before = (Service.stats clinic).Service.callbacks_out in
+  World.run_proc world (fun () ->
+      let s = Principal.start_session member in
+      ignore (ok (Anonymity.activate_anonymously member s clinic ~role:"patient" membership)));
+  Printf.printf "  %-34s | %16d | %16s\n" "anonymous member at clinic"
+    ((Service.stats clinic).Service.callbacks_out - before)
+    "-"
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Sect. 6: trust despite a Byzantine minority                    *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  header "E8 (Sect. 6) Web of trust: accuracy vs Byzantine fraction";
+  Printf.printf "  40 servers, 40 clients, 80 interactions/round, 40 rounds, threshold 0.5\n\n";
+  Printf.printf "  %10s | %16s | %16s\n" "byzantine" "final accuracy" "first-round acc.";
+  List.iter
+    (fun frac ->
+      let r =
+        Simulation.run { Simulation.default_params with byzantine_fraction = frac; rounds = 40 }
+      in
+      let first = List.hd r.Simulation.per_round in
+      Printf.printf "  %9.0f%% | %16.3f | %16.3f\n" (frac *. 100.0) r.Simulation.final_accuracy
+        first.Simulation.accuracy)
+    [ 0.0; 0.1; 0.2; 0.3; 0.4 ];
+  Printf.printf "\n  collusion ring (20%% colluders, padding 3/round): discounting ablation\n";
+  Printf.printf "  %-24s | %16s | %16s\n" "mode" "final accuracy" "rogue weight";
+  List.iter
+    (fun discounting ->
+      let r =
+        Simulation.run
+          {
+            Simulation.default_params with
+            byzantine_fraction = 0.1;
+            colluder_fraction = 0.2;
+            colluder_padding = 3;
+            rounds = 40;
+            discounting;
+          }
+      in
+      let last = List.nth r.Simulation.per_round (List.length r.Simulation.per_round - 1) in
+      Printf.printf "  %-24s | %16.3f | %16.3f\n"
+        (if discounting then "with discounting" else "without discounting")
+        r.Simulation.final_accuracy last.Simulation.mean_rogue_weight)
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8) ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match requested with
+    | [] -> experiments
+    | names -> List.filter (fun (name, _) -> List.mem name names) experiments
+  in
+  if selected = [] then begin
+    Printf.eprintf "unknown experiment; available: %s\n"
+      (String.concat " " (List.map fst experiments));
+    exit 1
+  end;
+  Printf.printf "OASIS reproduction benchmark harness (see DESIGN.md section 4, EXPERIMENTS.md)\n";
+  List.iter (fun (_, run) -> run ()) selected

@@ -1,0 +1,315 @@
+(* oasisctl — command-line front end to the OASIS reproduction.
+
+   Subcommands:
+     policy-check FILE   parse and report a policy file
+     cascade             run a revocation-cascade simulation
+     trust               run the Sect. 6 web-of-trust simulation
+     keygen              generate a simulated key pair
+*)
+
+module World = Oasis_core.World
+module Service = Oasis_core.Service
+module Principal = Oasis_core.Principal
+module Protocol = Oasis_core.Protocol
+module Parser = Oasis_policy.Parser
+module Rule = Oasis_policy.Rule
+module Simulation = Oasis_trust.Simulation
+module Rmc = Oasis_cert.Rmc
+module Elgamal = Oasis_crypto.Elgamal
+
+open Cmdliner
+
+(* ---------------- policy-check ---------------- *)
+
+let policy_check file =
+  let source =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Parser.parse source with
+  | Error e ->
+      Format.eprintf "%s: %a\n" file Parser.pp_error e;
+      exit 1
+  | Ok statements ->
+      let activations = Parser.activations statements in
+      let authorizations = Parser.authorizations statements in
+      Format.printf "%s: %d activation rule(s), %d authorization rule(s)\n" file
+        (List.length activations) (List.length authorizations);
+      List.iter (fun a -> Format.printf "  %a\n" Rule.pp_activation a) activations;
+      List.iter (fun a -> Format.printf "  %a\n" Rule.pp_authorization a) authorizations;
+      let initials = List.filter (fun (a : Rule.activation) -> a.initial) activations in
+      if initials = [] && activations <> [] then
+        Format.printf
+          "  note: no initial role — sessions cannot start at this service alone\n";
+      let monitored =
+        List.fold_left
+          (fun acc a -> acc + List.length (Rule.membership_conditions a))
+          0 activations
+      in
+      Format.printf "  %d membership-monitored condition(s)\n" monitored
+
+let policy_check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Policy file to check.")
+  in
+  Cmd.v
+    (Cmd.info "policy-check" ~doc:"Parse an OASIS policy file and summarise its rules")
+    Term.(const policy_check $ file)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze file svc_name kinds held =
+  let source =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Oasis_policy.Parser.parse source with
+  | Error e ->
+      Format.eprintf "%s: %a\n" file Oasis_policy.Parser.pp_error e;
+      exit 1
+  | Ok statements ->
+      let policy =
+        Oasis_policy.Analysis.of_statements ~name:svc_name ~appointment_kinds:kinds statements
+      in
+      let held_appointments =
+        match held with [] -> None | held -> Some (List.map (fun k -> (svc_name, k)) held)
+      in
+      let report = Oasis_policy.Analysis.analyse ?held_appointments [ policy ] in
+      Format.printf "%a\n" Oasis_policy.Analysis.pp_report report;
+      if
+        report.Oasis_policy.Analysis.dead_roles <> []
+        || report.Oasis_policy.Analysis.prereq_cycles <> []
+        || report.Oasis_policy.Analysis.unresolved <> []
+      then exit 2
+
+let analyze_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Policy file to analyse.")
+  in
+  let svc_name =
+    Arg.(value & opt string "service" & info [ "name" ] ~doc:"Registered name of the service.")
+  in
+  let kinds =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "kinds" ] ~doc:"Appointment kinds this service can issue (comma separated).")
+  in
+  let held =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "held" ]
+          ~doc:"Appointment kinds the analysed principal holds (default: all issuable).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static policy analysis: role reachability, dead roles, cycles, dangling references")
+    Term.(const analyze $ file $ svc_name $ kinds $ held)
+
+(* ---------------- cascade ---------------- *)
+
+let cascade depth fanout heartbeats period deadline seed =
+  let monitoring =
+    if heartbeats then World.Heartbeats { period; deadline } else World.Change_events
+  in
+  let world = World.create ~seed ~net_latency:0.001 ~notify_latency:0.001 ~monitoring () in
+  (* Root service plus a [fanout]-ary dependency tree of depth [depth]. *)
+  let counter = ref 0 in
+  let nodes = ref [] in
+  let root = Service.create world ~name:"root" ~policy:"initial role <- env:eq(1, 1);" () in
+  nodes := [ ("root", root, 0) ];
+  let rec grow parent level =
+    if level <= depth then
+      for _ = 1 to fanout do
+        incr counter;
+        let name = Printf.sprintf "n%d" !counter in
+        let service =
+          Service.create world ~name ~policy:(Printf.sprintf "role <- *role@%s;" parent) ()
+        in
+        nodes := (name, service, level) :: !nodes;
+        grow name (level + 1)
+      done
+  in
+  grow "root" 1;
+  let ordered = List.stable_sort (fun (_, _, a) (_, _, b) -> compare a b) (List.rev !nodes) in
+  let p = Principal.create world ~name:"p" in
+  let session = Principal.start_session p in
+  World.run_proc world (fun () ->
+      List.iter
+        (fun (_, service, _) ->
+          match Principal.activate p session service ~role:"role" () with
+          | Ok _ -> ()
+          | Error d -> failwith (Protocol.denial_to_string d))
+        ordered);
+  let alive () =
+    List.fold_left (fun acc (_, s, _) -> acc + List.length (Service.active_roles s)) 0 !nodes
+  in
+  Printf.printf "tree built: %d services, %d active roles\n" (List.length !nodes) (alive ());
+  (* Let heartbeat traffic settle for 10 virtual seconds, then cut the root. *)
+  World.run_until world (World.now world +. 10.0);
+  let root_rmc =
+    List.find
+      (fun (r : Rmc.t) -> Oasis_util.Ident.equal r.issuer (Service.id root))
+      (Principal.session_rmcs session)
+  in
+  let t0 = World.now world in
+  ignore (Service.revoke_certificate root root_rmc.Rmc.id ~reason:"oasisctl cascade");
+  let engine = World.engine world in
+  let rec drive () = if alive () > 0 && Oasis_sim.Engine.step engine then drive () in
+  drive ();
+  Printf.printf "collapse completed in %.3f virtual seconds (%s monitoring)\n"
+    (World.now world -. t0)
+    (if heartbeats then Printf.sprintf "heartbeat %.1fs/%.1fs" period deadline else "change-event");
+  let stats = Oasis_event.Broker.stats (World.broker world) in
+  Printf.printf "event-channel traffic: %d published, %d notifications delivered\n"
+    stats.Oasis_event.Broker.published stats.Oasis_event.Broker.notified
+
+let cascade_cmd =
+  let depth =
+    Arg.(value & opt int 4 & info [ "depth" ] ~doc:"Depth of the role dependency tree.")
+  in
+  let fanout = Arg.(value & opt int 2 & info [ "fanout" ] ~doc:"Children per node.") in
+  let heartbeats =
+    Arg.(value & flag & info [ "heartbeats" ] ~doc:"Monitor by heartbeats instead of change events.")
+  in
+  let period = Arg.(value & opt float 1.0 & info [ "period" ] ~doc:"Heartbeat period (s).") in
+  let deadline =
+    Arg.(value & opt float 2.5 & info [ "deadline" ] ~doc:"Heartbeat miss deadline (s).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  Cmd.v
+    (Cmd.info "cascade" ~doc:"Simulate a revocation cascade over a role-dependency tree (Fig. 5)")
+    Term.(const cascade $ depth $ fanout $ heartbeats $ period $ deadline $ seed)
+
+(* ---------------- trust ---------------- *)
+
+let trust byzantine colluders padding rounds threshold no_discounting favourable seed =
+  let params =
+    {
+      Simulation.default_params with
+      byzantine_fraction = byzantine;
+      colluder_fraction = colluders;
+      colluder_padding = padding;
+      rounds;
+      threshold;
+      discounting = not no_discounting;
+      favourable_presentation = favourable;
+      seed;
+    }
+  in
+  let result = Simulation.run params in
+  Printf.printf "round | accept-good accept-bad refuse-good refuse-bad | accuracy | rogue-weight\n";
+  List.iter
+    (fun (r : Simulation.round_stats) ->
+      Printf.printf "%5d | %11d %10d %11d %10d | %8.3f | %12.3f\n" r.round r.proceeded_with_good
+        r.proceeded_with_bad r.refused_good r.refused_bad r.accuracy r.mean_rogue_weight)
+    result.Simulation.per_round;
+  Printf.printf "final accuracy (last quarter): %.3f\n" result.Simulation.final_accuracy
+
+let trust_cmd =
+  let byz =
+    Arg.(value & opt float 0.25 & info [ "byzantine" ] ~doc:"Fraction of Byzantine servers.")
+  in
+  let col =
+    Arg.(value & opt float 0.0 & info [ "colluders" ] ~doc:"Fraction of colluding servers.")
+  in
+  let padding =
+    Arg.(value & opt int 2 & info [ "padding" ] ~doc:"Fabricated certificates per colluder per round.")
+  in
+  let rounds = Arg.(value & opt int 30 & info [ "rounds" ] ~doc:"Rounds to simulate.") in
+  let threshold = Arg.(value & opt float 0.5 & info [ "threshold" ] ~doc:"Risk threshold.") in
+  let no_disc =
+    Arg.(value & flag & info [ "no-discounting" ] ~doc:"Disable registrar discounting.")
+  in
+  let favourable =
+    Arg.(value & flag & info [ "favourable" ] ~doc:"Servers present only favourable certificates.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  Cmd.v
+    (Cmd.info "trust" ~doc:"Run the Sect. 6 audit-certificate marketplace simulation")
+    Term.(
+      const trust $ byz $ col $ padding $ rounds $ threshold $ no_disc $ favourable $ seed)
+
+(* ---------------- analyze-world ---------------- *)
+
+let analyze_world file =
+  let source =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Oasis_script.Scenario.extract_policies source with
+  | Error e ->
+      Format.eprintf "%a\n" Oasis_script.Scenario.pp_error e;
+      exit 1
+  | Ok world ->
+      let report = Oasis_policy.Analysis.analyse world in
+      Format.printf "%a\n" Oasis_policy.Analysis.pp_report report;
+      if
+        report.Oasis_policy.Analysis.dead_roles <> []
+        || report.Oasis_policy.Analysis.prereq_cycles <> []
+        || report.Oasis_policy.Analysis.unresolved <> []
+      then exit 2
+
+let analyze_world_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario file to analyse.")
+  in
+  Cmd.v
+    (Cmd.info "analyze-world"
+       ~doc:"Static analysis across every service of a scenario file, CIV included")
+    Term.(const analyze_world $ file)
+
+(* ---------------- run (scenario scripts) ---------------- *)
+
+let run_scenario file =
+  match Oasis_script.Scenario.run_file file with
+  | Error e ->
+      Format.eprintf "%a\n" Oasis_script.Scenario.pp_error e;
+      exit 1
+  | Ok outcome ->
+      List.iter print_endline outcome.Oasis_script.Scenario.log;
+      (match outcome.Oasis_script.Scenario.failures with
+      | [] -> print_endline "all expectations met"
+      | failures ->
+          List.iter (fun f -> Printf.eprintf "EXPECTATION FAILED: %s\n" f) failures;
+          exit 2)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario script to run.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a scenario script (.scn) and check its expectations")
+    Term.(const run_scenario $ file)
+
+(* ---------------- keygen ---------------- *)
+
+let keygen seed =
+  let rng = Oasis_util.Rng.create seed in
+  let kp = Elgamal.generate rng in
+  Printf.printf "public:  %s\nprivate: (held)\nself-check: %b\n"
+    (Elgamal.public_to_string kp.Elgamal.public)
+    (Elgamal.proves kp.Elgamal.private_key kp.Elgamal.public)
+
+let keygen_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  Cmd.v
+    (Cmd.info "keygen" ~doc:"Generate a simulated principal key pair")
+    Term.(const keygen $ seed)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "OASIS role-based access control — reproduction toolkit" in
+  let info = Cmd.info "oasisctl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ policy_check_cmd; analyze_cmd; analyze_world_cmd; run_cmd; cascade_cmd; trust_cmd; keygen_cmd ]))

@@ -1,0 +1,1 @@
+examples/accident_emergency.mli:

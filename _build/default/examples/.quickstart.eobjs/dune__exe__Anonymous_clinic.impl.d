@@ -1,0 +1,1 @@
+examples/anonymous_clinic.ml: Array Format List Oasis_cert Oasis_core Oasis_domain Oasis_util Printf

@@ -1,0 +1,1 @@
+examples/ehr_cross_domain.ml: Format Hashtbl List Oasis_cert Oasis_core Oasis_domain Oasis_policy Oasis_sim Oasis_util Option Printf String

@@ -1,0 +1,1 @@
+examples/ehr_cross_domain.mli:

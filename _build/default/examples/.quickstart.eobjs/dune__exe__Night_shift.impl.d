@@ -1,0 +1,1 @@
+examples/night_shift.ml: List Oasis_core Oasis_domain Oasis_util Printf

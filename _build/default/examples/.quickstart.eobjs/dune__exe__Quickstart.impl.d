@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Oasis_cert Oasis_core Oasis_policy Oasis_util Printf

@@ -1,0 +1,1 @@
+examples/trust_marketplace.ml: List Oasis_trust Oasis_util Printf

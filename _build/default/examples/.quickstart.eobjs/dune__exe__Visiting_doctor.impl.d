@@ -1,0 +1,1 @@
+examples/visiting_doctor.ml: Array Format List Oasis_cert Oasis_core Oasis_domain Oasis_policy Oasis_util Printf

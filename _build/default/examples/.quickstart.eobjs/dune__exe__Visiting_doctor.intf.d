@@ -1,0 +1,1 @@
+examples/visiting_doctor.mli:

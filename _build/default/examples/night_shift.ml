@@ -1,0 +1,83 @@
+(* Time-of-day environmental constraints (Sect. 2).
+
+   Run with: dune exec examples/night_shift.exe
+
+   "Examples of user-independent constraints are the time of day ..." —
+   and because OASIS security is ACTIVE, a time-of-day constraint in a
+   membership rule does more than gate activation: the role deactivates
+   itself the moment the window closes, with no request needed. We follow a
+   junior doctor across a night shift: the role appears at 20:00, carries
+   privileges through the night, and evaporates at 08:00 sharp. *)
+
+module World = Oasis_core.World
+module Service = Oasis_core.Service
+module Principal = Oasis_core.Principal
+module Protocol = Oasis_core.Protocol
+module Civ = Oasis_domain.Civ
+module Value = Oasis_util.Value
+
+let hour h = h *. 3600.0
+
+let clock_of world =
+  let t = World.now world in
+  Printf.sprintf "%02d:%02d" (int_of_float (t /. 3600.0) mod 24) (int_of_float (t /. 60.0) mod 60)
+
+let attempt world label = function
+  | Ok _ -> Printf.printf "  [%s] %s: granted\n" (clock_of world) label
+  | Error d ->
+      Printf.printf "  [%s] %s: DENIED (%s)\n" (clock_of world) label
+        (Protocol.denial_to_string d)
+
+let () =
+  let world = World.create ~seed:23 () in
+  let civ = Civ.create world ~name:"rota" () in
+  let ward =
+    Service.create world ~name:"ward"
+      ~policy:
+        {|
+          initial junior(d) <- *appt:junior_rota(d)@rota;
+          night_duty(d) <- *junior(d), *env:hour_between(20, 8);
+          priv prescribe(d) <- night_duty(d);
+        |}
+      ()
+  in
+  let dara = Principal.create world ~name:"dr-dara" in
+  Principal.grant_appointment dara
+    (Civ.issue civ ~kind:"junior_rota"
+       ~args:[ Value.Id (Principal.id dara) ]
+       ~holder:(Principal.id dara) ~holder_key:(Principal.longterm_public dara) ());
+  World.settle world;
+
+  let session = Principal.start_session dara in
+  (* 14:00 — daytime: the junior role works, night_duty does not. *)
+  World.run_until world (hour 14.0);
+  World.run_proc world (fun () ->
+      attempt world "activate junior" (Principal.activate dara session ward ~role:"junior" ());
+      attempt world "activate night_duty"
+        (Principal.activate dara session ward ~role:"night_duty" ()));
+
+  (* 20:30 — the window is open. *)
+  World.run_until world (hour 20.5);
+  World.run_proc world (fun () ->
+      attempt world "activate night_duty"
+        (Principal.activate dara session ward ~role:"night_duty" ());
+      attempt world "prescribe"
+        (Principal.invoke dara session ward ~privilege:"prescribe"
+           ~args:[ Value.Id (Principal.id dara) ]));
+
+  (* 03:00 — still on duty across midnight (a wrapping window). *)
+  World.run_until world (hour 27.0);
+  Printf.printf "  [%s] active roles on the ward: %d (night_duty survives midnight)\n"
+    (clock_of world)
+    (List.length (Service.active_roles ward));
+
+  (* 08:00 — the membership monitor ends the shift; nobody sent anything. *)
+  World.run_until world (hour 32.5);
+  World.settle world;
+  Printf.printf "  [%s] active roles on the ward: %d (night_duty self-deactivated at 08:00)\n"
+    (clock_of world)
+    (List.length (Service.active_roles ward));
+  World.run_proc world (fun () ->
+      attempt world "prescribe after shift"
+        (Principal.invoke dara session ward ~privilege:"prescribe"
+           ~args:[ Value.Id (Principal.id dara) ]))

@@ -1,0 +1,85 @@
+(* Untrusted environments and principals (Sect. 6).
+
+   Run with: dune exec examples/trust_marketplace.exe
+
+   Roving computational entities meet services they have never seen. Before
+   proceeding, each side examines the other's accumulated audit certificates
+   — validated at the issuing CIV registrars — and takes a calculated risk.
+   We run the paper's speculation as a marketplace simulation: a Byzantine
+   minority of services breach their contracts, and a collusion ring pads
+   its history with certificates from a rogue registrar domain. Watch how
+   decision accuracy evolves, and how discounting of misleading registrars
+   defeats the collusion. *)
+
+module Simulation = Oasis_trust.Simulation
+module Audit = Oasis_trust.Audit
+module Registrar = Oasis_trust.Registrar
+module Assess = Oasis_trust.Assess
+module Ident = Oasis_util.Ident
+module Rng = Oasis_util.Rng
+
+let banner title = Printf.printf "\n=== %s ===\n" title
+
+let print_rounds ?(every = 5) result =
+  Printf.printf "  round | accept good | accept bad | refuse good | refuse bad | accuracy | rogue weight\n";
+  List.iter
+    (fun (r : Simulation.round_stats) ->
+      if r.round mod every = 0 || r.round = 1 then
+        Printf.printf "  %5d | %11d | %10d | %11d | %10d | %8.2f | %12.3f\n" r.round
+          r.proceeded_with_good r.proceeded_with_bad r.refused_good r.refused_bad r.accuracy
+          r.mean_rogue_weight)
+    result.Simulation.per_round;
+  Printf.printf "  final accuracy (last quarter): %.3f\n" result.Simulation.final_accuracy
+
+let () =
+  banner "One interaction, by hand";
+  let rng = Rng.create 99 in
+  let registrar = Registrar.create rng ~name:"city-civ" () in
+  let client = Ident.make "roving-agent" 1 and server = Ident.make "storage-service" 1 in
+  (* Two honest interactions, then a dispute. *)
+  let history =
+    [
+      Registrar.record_interaction registrar ~client ~server ~at:1.0
+        ~client_outcome:Audit.Fulfilled ~server_outcome:Audit.Fulfilled;
+      Registrar.record_interaction registrar ~client ~server ~at:2.0
+        ~client_outcome:Audit.Fulfilled ~server_outcome:Audit.Fulfilled;
+      Registrar.record_interaction registrar ~client ~server ~at:3.0
+        ~client_outcome:Audit.Fulfilled ~server_outcome:Audit.Breached;
+    ]
+  in
+  let assessor = Assess.create ~threshold:0.55 () in
+  let verdict =
+    Assess.assess assessor ~validate:(Registrar.validate registrar) ~subject:server
+      ~presented:history
+  in
+  Printf.printf "  server's history: 2 fulfilled, 1 breached -> score %.3f, %s\n"
+    verdict.Assess.score
+    (if verdict.Assess.proceed then "proceed" else "refuse");
+
+  banner "A healthy marketplace (25% Byzantine servers)";
+  let params = { Simulation.default_params with rounds = 30 } in
+  print_rounds (Simulation.run params);
+
+  banner "A collusion ring pads its history via a rogue registrar";
+  let collusion =
+    {
+      Simulation.default_params with
+      byzantine_fraction = 0.1;
+      colluder_fraction = 0.2;
+      colluder_padding = 3;
+      rounds = 30;
+    }
+  in
+  Printf.printf "\n  -- with registrar discounting (the paper's 'domain of the auditing\n";
+  Printf.printf "     service is a factor' made mechanical) --\n";
+  print_rounds (Simulation.run { collusion with discounting = true });
+  Printf.printf "\n  -- without discounting: fabricated histories keep working --\n";
+  print_rounds (Simulation.run { collusion with discounting = false });
+
+  banner "Strategic presentation: parties hide unfavourable certificates";
+  let strategic = { collusion with favourable_presentation = true; discounting = true } in
+  print_rounds (Simulation.run strategic);
+  Printf.printf
+    "\n  Withholding breach records slows detection — the paper's observation that\n\
+    \  parties 'might collude to build up a false history' extends to curating\n\
+    \  one's own. Registrar discounting still bites via contradicted testimony.\n"

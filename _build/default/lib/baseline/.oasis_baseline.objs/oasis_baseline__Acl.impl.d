@@ -1,0 +1,1 @@
+lib/baseline/acl.ml: Hashtbl Oasis_util Printf Set String

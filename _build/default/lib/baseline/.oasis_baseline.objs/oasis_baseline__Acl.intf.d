@@ -1,0 +1,1 @@
+lib/baseline/acl.mli: Oasis_util

@@ -1,0 +1,1 @@
+lib/baseline/delegation.ml: List Oasis_util Printf Rbac96 String

@@ -1,0 +1,1 @@
+lib/baseline/delegation.mli: Oasis_util Rbac96

@@ -1,0 +1,1 @@
+lib/baseline/rbac96.ml: Hashtbl List Oasis_util Printf Set String

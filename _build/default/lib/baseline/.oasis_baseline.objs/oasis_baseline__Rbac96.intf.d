@@ -1,0 +1,1 @@
+lib/baseline/rbac96.mli: Oasis_util

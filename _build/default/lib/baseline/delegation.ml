@@ -1,0 +1,81 @@
+module Ident = Oasis_util.Ident
+
+type delegation = {
+  from_user : Ident.t;
+  to_user : Ident.t;
+  role : string;
+  depth : int; (* to_user's distance from an original member *)
+}
+
+type t = { rbac : Rbac96.t; max_depth : int; mutable delegations : delegation list }
+
+let create rbac ~max_depth =
+  if max_depth < 1 then invalid_arg "Delegation.create: max_depth must be >= 1";
+  { rbac; max_depth; delegations = [] }
+
+let delegated_to t user role =
+  List.find_opt
+    (fun d -> Ident.equal d.to_user user && String.equal d.role role)
+    t.delegations
+
+let original_member t user role = List.mem role (Rbac96.assigned_roles t.rbac user)
+
+let is_member t user role = original_member t user role || delegated_to t user role <> None
+
+let member_depth t user role =
+  if original_member t user role then Some 0
+  else match delegated_to t user role with Some d -> Some d.depth | None -> None
+
+let delegate t ~from_user ~to_user ~role =
+  match member_depth t from_user role with
+  | None -> Error (Printf.sprintf "%s is not a member of %s" (Ident.to_string from_user) role)
+  | Some depth when depth >= t.max_depth ->
+      Error (Printf.sprintf "delegation depth limit %d reached" t.max_depth)
+  | Some depth ->
+      if is_member t to_user role then
+        Error (Printf.sprintf "%s already holds %s" (Ident.to_string to_user) role)
+      else begin
+        t.delegations <- { from_user; to_user; role; depth = depth + 1 } :: t.delegations;
+        Ok ()
+      end
+
+(* Removes the delegation edge from->to (if any) and, transitively,
+   everything the delegatee passed on. *)
+let rec cascade t ~from_user ~to_user ~role =
+  let matches d =
+    Ident.equal d.from_user from_user && Ident.equal d.to_user to_user && String.equal d.role role
+  in
+  if not (List.exists matches t.delegations) then 0
+  else begin
+    t.delegations <- List.filter (fun d -> not (matches d)) t.delegations;
+    (* If the delegatee is not a member through some other path, their own
+       onward delegations die too. *)
+    if is_member t to_user role then 1
+    else
+      let onward =
+        List.filter
+          (fun d -> Ident.equal d.from_user to_user && String.equal d.role role)
+          t.delegations
+      in
+      1
+      + List.fold_left
+          (fun acc d -> acc + cascade t ~from_user:d.from_user ~to_user:d.to_user ~role)
+          0 onward
+  end
+
+let revoke t ~from_user ~to_user ~role = cascade t ~from_user ~to_user ~role
+
+let revoke_all_from t user role =
+  let mine =
+    List.filter
+      (fun d -> Ident.equal d.from_user user && String.equal d.role role)
+      t.delegations
+  in
+  List.fold_left
+    (fun acc d -> acc + cascade t ~from_user:d.from_user ~to_user:d.to_user ~role)
+    0 mine
+
+let delegation_count t = List.length t.delegations
+
+let chain_depth t user role =
+  match member_depth t user role with Some d -> d | None -> raise Not_found

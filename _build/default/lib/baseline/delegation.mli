@@ -1,0 +1,39 @@
+(** Role delegation baseline (RBDM0 — Barka & Sandhu, refs [3, 4]).
+
+    OASIS deliberately has no privilege delegation; appointment replaces it
+    (Sect. 1–2). To quantify the difference, this module adds user-to-user
+    delegation on top of {!Rbac96}: a role member may delegate membership to
+    another user, delegatees may re-delegate up to a depth limit, and
+    revocation is {e cascading} — revoking one delegation (or the original
+    membership) tears down everything delegated through it.
+
+    The measurable contrast (experiment E6): a delegation chain couples
+    every delegatee's access to the delegator's continued membership, so
+    revocations touch O(chain) state; OASIS appointments are independent
+    credentials whose validity the issuing service controls one by one. *)
+
+type t
+
+val create : Rbac96.t -> max_depth:int -> t
+
+val delegate :
+  t -> from_user:Oasis_util.Ident.t -> to_user:Oasis_util.Ident.t -> role:string -> (unit, string) result
+(** Fails if [from_user] is not a member (original or delegated) of [role],
+    if the depth limit is reached, or if [to_user] already has the role. *)
+
+val is_member : t -> Oasis_util.Ident.t -> string -> bool
+(** Original assignment or live delegation. *)
+
+val revoke :
+  t -> from_user:Oasis_util.Ident.t -> to_user:Oasis_util.Ident.t -> role:string -> int
+(** Cascading revocation; returns the number of delegations torn down
+    (the blast radius). 0 if no such delegation. *)
+
+val revoke_all_from : t -> Oasis_util.Ident.t -> string -> int
+(** Everything this user delegated for the role, recursively — what must
+    happen when the user loses the role themselves. *)
+
+val delegation_count : t -> int
+val chain_depth : t -> Oasis_util.Ident.t -> string -> int
+(** 0 for an original member, k for a delegatee k hops from one; raises
+    [Not_found] for a non-member. *)

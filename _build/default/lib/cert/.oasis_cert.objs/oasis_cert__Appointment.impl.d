@@ -1,0 +1,1 @@
+lib/cert/appointment.ml: Float Format Oasis_crypto Oasis_util Printf Wire

@@ -1,0 +1,1 @@
+lib/cert/appointment.mli: Format Oasis_crypto Oasis_util

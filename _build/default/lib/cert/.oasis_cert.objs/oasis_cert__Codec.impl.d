@@ -1,0 +1,1 @@
+lib/cert/codec.ml: Appointment Float Format List Oasis_crypto Oasis_util Printf Rmc String Wire

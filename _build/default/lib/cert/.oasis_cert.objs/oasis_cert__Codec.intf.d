@@ -1,0 +1,1 @@
+lib/cert/codec.mli: Appointment Format Rmc

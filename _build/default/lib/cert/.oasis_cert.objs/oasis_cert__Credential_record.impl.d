@@ -1,0 +1,1 @@
+lib/cert/credential_record.ml: Oasis_util Printf

@@ -1,0 +1,1 @@
+lib/cert/credential_record.mli: Oasis_util

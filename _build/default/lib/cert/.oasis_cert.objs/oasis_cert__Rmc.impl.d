@@ -1,0 +1,1 @@
+lib/cert/rmc.ml: Format Oasis_crypto Oasis_util Wire

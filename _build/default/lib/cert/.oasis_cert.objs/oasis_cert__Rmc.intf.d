@@ -1,0 +1,1 @@
+lib/cert/rmc.mli: Format Oasis_crypto Oasis_util

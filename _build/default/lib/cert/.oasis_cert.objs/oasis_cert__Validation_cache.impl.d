@@ -1,0 +1,1 @@
+lib/cert/validation_cache.ml: Oasis_util

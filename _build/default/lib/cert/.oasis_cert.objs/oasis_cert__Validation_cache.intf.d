@@ -1,0 +1,1 @@
+lib/cert/validation_cache.mli: Oasis_util

@@ -1,0 +1,1 @@
+lib/cert/wire.ml: Buffer List Oasis_util Printf String

@@ -1,0 +1,1 @@
+lib/cert/wire.mli: Oasis_util

@@ -1,0 +1,52 @@
+module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
+
+type status = Valid | Revoked of { at : float; reason : string }
+
+type kind = Kind_rmc | Kind_appointment
+
+type t = {
+  cert_id : Ident.t;
+  issuer : Ident.t;
+  kind : kind;
+  principal : Ident.t;
+  name : string;
+  args : Value.t list;
+  issued_at : float;
+  mutable status : status;
+}
+
+let topic_of ~issuer ~cert_id =
+  Printf.sprintf "cr:%s/%s" (Ident.to_string issuer) (Ident.to_string cert_id)
+
+let topic t = topic_of ~issuer:t.issuer ~cert_id:t.cert_id
+
+let is_valid t = match t.status with Valid -> true | Revoked _ -> false
+
+type store = t Ident.Tbl.t
+
+let create_store () = Ident.Tbl.create 256
+
+let add store ~cert_id ~issuer ~kind ~principal ~name ~args ~issued_at =
+  if Ident.Tbl.mem store cert_id then
+    invalid_arg
+      (Printf.sprintf "Credential_record.add: duplicate certificate %s" (Ident.to_string cert_id));
+  let record = { cert_id; issuer; kind; principal; name; args; issued_at; status = Valid } in
+  Ident.Tbl.replace store cert_id record;
+  record
+
+let find store cert_id = Ident.Tbl.find_opt store cert_id
+
+let revoke store cert_id ~at ~reason =
+  match Ident.Tbl.find_opt store cert_id with
+  | Some record when is_valid record ->
+      record.status <- Revoked { at; reason };
+      Some record
+  | Some _ | None -> None
+
+let count store = Ident.Tbl.length store
+
+let valid_count store =
+  Ident.Tbl.fold (fun _ record acc -> if is_valid record then acc + 1 else acc) store 0
+
+let iter store f = Ident.Tbl.iter (fun _ record -> f record) store

@@ -1,0 +1,62 @@
+(** Credential records (CR) — issuer-side validity state (Fig. 1, 4, 5).
+
+    "The issuer keeps information on the RMC, including its current
+    validity, in a credential record (CR). The credential record reference
+    (CRR) in the RMC allows the issuer and the CR to be located." (Sect. 4)
+
+    A store holds the records of one issuing service. Each record names the
+    event channel ({!topic}) on which the issuer announces invalidation, so
+    remote caches and dependent roles can subscribe (the ECR proxies of
+    Fig. 5 are those subscriptions). *)
+
+type status =
+  | Valid
+  | Revoked of { at : float; reason : string }
+
+type kind = Kind_rmc | Kind_appointment
+
+type t = private {
+  cert_id : Oasis_util.Ident.t;
+  issuer : Oasis_util.Ident.t;
+  kind : kind;
+  principal : Oasis_util.Ident.t;  (** real principal identity, kept for audit *)
+  name : string;  (** role name or appointment kind *)
+  args : Oasis_util.Value.t list;
+  issued_at : float;
+  mutable status : status;
+}
+
+val topic : t -> string
+(** The record's event channel name, derived from the CRR. *)
+
+val topic_of : issuer:Oasis_util.Ident.t -> cert_id:Oasis_util.Ident.t -> string
+
+val is_valid : t -> bool
+
+type store
+
+val create_store : unit -> store
+
+val add :
+  store ->
+  cert_id:Oasis_util.Ident.t ->
+  issuer:Oasis_util.Ident.t ->
+  kind:kind ->
+  principal:Oasis_util.Ident.t ->
+  name:string ->
+  args:Oasis_util.Value.t list ->
+  issued_at:float ->
+  t
+(** Raises [Invalid_argument] on duplicate certificate ids. *)
+
+val find : store -> Oasis_util.Ident.t -> t option
+
+val revoke : store -> Oasis_util.Ident.t -> at:float -> reason:string -> t option
+(** Marks the record revoked. [Some record] if it existed and was valid
+    (i.e. this call changed its state); [None] otherwise. Revocation is
+    permanent — OASIS re-activates roles by issuing fresh certificates, it
+    never resurrects old ones. *)
+
+val count : store -> int
+val valid_count : store -> int
+val iter : store -> (t -> unit) -> unit

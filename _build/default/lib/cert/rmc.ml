@@ -1,0 +1,61 @@
+module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
+module Secret = Oasis_crypto.Secret
+module Hmac = Oasis_crypto.Hmac
+module Sha256 = Oasis_crypto.Sha256
+
+type t = {
+  id : Ident.t;
+  issuer : Ident.t;
+  role : string;
+  args : Value.t list;
+  issued_at : float;
+  signature : Sha256.digest;
+}
+
+let tag = "rmc"
+
+let protected_fields ~principal_key t =
+  [
+    Wire.Fstring principal_key;
+    Wire.Fident t.id;
+    Wire.Fident t.issuer;
+    Wire.Fstring t.role;
+    Wire.Fvalues t.args;
+    Wire.Ffloat t.issued_at;
+  ]
+
+let sign ~secret ~principal_key t =
+  Hmac.mac ~key:(Secret.to_key secret) (Wire.encode tag (protected_fields ~principal_key t))
+
+let issue ~secret ~principal_key ~id ~issuer ~role ~args ~issued_at =
+  let unsigned =
+    { id; issuer; role; args; issued_at; signature = Sha256.digest_string "" }
+  in
+  { unsigned with signature = sign ~secret ~principal_key unsigned }
+
+let verify ~secret ~principal_key t =
+  Sha256.equal t.signature (sign ~secret ~principal_key t)
+
+let of_parts ~id ~issuer ~role ~args ~issued_at ~signature =
+  { id; issuer; role; args; issued_at; signature }
+
+let with_args t args = { t with args }
+
+let crr t = (t.issuer, t.id)
+
+let size_bytes t =
+  (* The principal key is not carried in the certificate. *)
+  Wire.size_bytes tag
+    [
+      Wire.Fident t.id;
+      Wire.Fident t.issuer;
+      Wire.Fstring t.role;
+      Wire.Fvalues t.args;
+      Wire.Ffloat t.issued_at;
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "RMC[%a %s(%a) by %a]" Ident.pp t.id t.role
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Value.pp)
+    t.args Ident.pp t.issuer

@@ -1,0 +1,45 @@
+module Ident = Oasis_util.Ident
+
+type t = {
+  table : unit Ident.Tbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create () = { table = Ident.Tbl.create 64; hits = 0; misses = 0; invalidations = 0 }
+
+let cache_valid t cert_id = Ident.Tbl.replace t.table cert_id ()
+
+let lookup t cert_id =
+  if Ident.Tbl.mem t.table cert_id then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let invalidate t cert_id =
+  if Ident.Tbl.mem t.table cert_id then begin
+    Ident.Tbl.remove t.table cert_id;
+    t.invalidations <- t.invalidations + 1
+  end
+
+let clear t = Ident.Tbl.reset t.table
+
+type stats = { hits : int; misses : int; invalidations : int; entries : int }
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    entries = Ident.Tbl.length t.table;
+  }
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.invalidations <- 0

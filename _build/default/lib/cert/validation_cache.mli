@@ -1,0 +1,34 @@
+(** Remote validation caching (Sect. 4).
+
+    "An OASIS-aware service will validate a certificate presented as an
+    argument via callback to the issuer. The service may cache the
+    certificate and the result of validation in order to reduce the
+    communication overhead of repeated callback. This requires an event
+    channel so that the issuer can notify the service should the certificate
+    be invalidated for any reason."
+
+    Only positive verdicts are cached — a certificate seen as invalid might
+    be superseded by a fresh one under the same principal, and negatives are
+    cheap to re-check. Experiment E3 measures the round trips this cache
+    saves. *)
+
+type t
+
+val create : unit -> t
+
+val cache_valid : t -> Oasis_util.Ident.t -> unit
+(** Records a positive callback verdict for a certificate id. *)
+
+val lookup : t -> Oasis_util.Ident.t -> bool
+(** [true] iff a positive verdict is cached (counts a hit); [false] means
+    the caller must perform the callback (counts a miss). *)
+
+val invalidate : t -> Oasis_util.Ident.t -> unit
+(** Called on an invalidation event from the issuer's channel. Idempotent. *)
+
+val clear : t -> unit
+
+type stats = { hits : int; misses : int; invalidations : int; entries : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,40 @@
+module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
+
+type field =
+  | Fident : Ident.t -> field
+  | Fstring : string -> field
+  | Fvalue : Value.t -> field
+  | Ffloat : float -> field
+  | Fint : int -> field
+  | Fvalues : Value.t list -> field
+
+let add_lp buf tag payload =
+  Buffer.add_char buf tag;
+  Buffer.add_string buf (string_of_int (String.length payload));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf payload
+
+let add_field buf = function
+  | Fident id -> add_lp buf 'I' (Ident.to_string id)
+  | Fstring s -> add_lp buf 'S' s
+  | Fvalue v ->
+      let b = Buffer.create 16 in
+      Value.encode b v;
+      add_lp buf 'V' (Buffer.contents b)
+  | Ffloat f -> add_lp buf 'F' (Printf.sprintf "%h" f)
+  | Fint n -> add_lp buf 'N' (string_of_int n)
+  | Fvalues vs ->
+      let b = Buffer.create 32 in
+      List.iter (Value.encode b) vs;
+      add_lp buf 'L' (Buffer.contents b)
+
+let encode tag fields =
+  let buf = Buffer.create 128 in
+  add_lp buf 'T' tag;
+  List.iter (add_field buf) fields;
+  Buffer.contents buf
+
+let signature_bytes = 32
+
+let size_bytes tag fields = String.length (encode tag fields) + signature_bytes

@@ -1,0 +1,1 @@
+lib/core/principal.ml: List Oasis_cert Oasis_crypto Oasis_sim Oasis_util Protocol Service String World

@@ -1,0 +1,1 @@
+lib/core/principal.mli: Oasis_cert Oasis_util Protocol Service World

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Format Fun List Oasis_cert Oasis_crypto Oasis_util Option Printf String

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Format Oasis_cert Oasis_crypto Oasis_util

@@ -1,0 +1,1 @@
+lib/core/service.ml: Hashtbl List Logs Oasis_cert Oasis_crypto Oasis_event Oasis_policy Oasis_sim Oasis_util Printf Protocol String World

@@ -1,0 +1,1 @@
+lib/core/service.mli: Oasis_cert Oasis_policy Oasis_util World

@@ -1,0 +1,1 @@
+lib/core/world.ml: Hashtbl Oasis_event Oasis_sim Oasis_util Option Printf Protocol

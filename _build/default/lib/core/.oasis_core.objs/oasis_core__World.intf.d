@@ -1,0 +1,1 @@
+lib/core/world.mli: Oasis_event Oasis_sim Oasis_util Protocol

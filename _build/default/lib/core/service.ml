@@ -1,0 +1,829 @@
+module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
+module Rng = Oasis_util.Rng
+module Engine = Oasis_sim.Engine
+module Network = Oasis_sim.Network
+module Broker = Oasis_event.Broker
+module Heartbeat = Oasis_event.Heartbeat
+module Env = Oasis_policy.Env
+module Rule = Oasis_policy.Rule
+module Term = Oasis_policy.Term
+module Solve = Oasis_policy.Solve
+module Parser = Oasis_policy.Parser
+module Rmc = Oasis_cert.Rmc
+module Appointment = Oasis_cert.Appointment
+module Cr = Oasis_cert.Credential_record
+module Vcache = Oasis_cert.Validation_cache
+module Secret = Oasis_crypto.Secret
+module Elgamal = Oasis_crypto.Elgamal
+module Challenge = Oasis_crypto.Challenge
+
+let log = Logs.Src.create "oasis.service" ~doc:"OASIS service events"
+
+module Log = (val Logs.src_log log)
+
+type config = {
+  challenge_on_activation : bool;
+  challenge_on_invocation : bool;
+  challenge_appointment_holders : bool;
+  cache_remote_validation : bool;
+  validation_retries : int;
+}
+
+let default_config =
+  {
+    challenge_on_activation = false;
+    challenge_on_invocation = false;
+    challenge_appointment_holders = false;
+    cache_remote_validation = true;
+    validation_retries = 2;
+  }
+
+type audit_entry = {
+  at : float;
+  principal : Ident.t;
+  action : string;
+  args : Value.t list;
+  creds_used : Ident.t list;
+}
+
+(* Watch state for one remote credential supporting an active role or a
+   cached validation verdict. *)
+type watch =
+  | Watch_event of Broker.subscription
+  | Watch_beat of Heartbeat.monitor
+  | Watch_timer of Engine.cancel
+
+(* An RMC this service has issued, with its active-security state. *)
+type issued_rmc = {
+  rmc : Rmc.t;
+  record : Cr.t;
+  initial : bool;
+  session_key : string;
+  ir_principal : Ident.t;
+  mutable watches : watch list;
+  mutable env_watch : (string * Value.t list) list;
+      (* ground membership env constraints; first component may carry '!' *)
+  mutable beats : Heartbeat.emitter option;
+}
+
+type issued_appt = {
+  appt : Appointment.t;
+  appt_record : Cr.t;
+  mutable appt_beats : Heartbeat.emitter option;
+}
+
+type mutable_stats = {
+  mutable activations_granted : int;
+  mutable activations_denied : int;
+  mutable invocations_granted : int;
+  mutable invocations_denied : int;
+  mutable appointments_granted : int;
+  mutable appointments_denied : int;
+  mutable callbacks_in : int;
+  mutable callbacks_out : int;
+  mutable validation_failures : int;
+  mutable revocations : int;
+  mutable cascade_deactivations : int;
+}
+
+type stats = {
+  activations_granted : int;
+  activations_denied : int;
+  invocations_granted : int;
+  invocations_denied : int;
+  appointments_granted : int;
+  appointments_denied : int;
+  callbacks_in : int;
+  callbacks_out : int;
+  validation_failures : int;
+  revocations : int;
+  cascade_deactivations : int;
+  cache : Vcache.stats;
+}
+
+type t = {
+  world : World.t;
+  sid : Ident.t;
+  sname : string;
+  config : config;
+  env : Env.t;
+  secret : Secret.t;
+  mutable epoch : int;
+  activations : (string, Rule.activation list ref) Hashtbl.t;
+  authorizations : (string, Rule.authorization list ref) Hashtbl.t;
+  appointers : (string, Rule.authorization list ref) Hashtbl.t;
+  operations : (string, principal:Ident.t -> Value.t list -> Value.t option) Hashtbl.t;
+  crs : Cr.store;
+  rmcs : issued_rmc Ident.Tbl.t;
+  appts : issued_appt Ident.Tbl.t;
+  cache : Vcache.t;
+  cache_watched : watch Ident.Tbl.t;  (* remote cert id -> invalidation watch *)
+  st : mutable_stats;
+  mutable audit : audit_entry list;
+}
+
+let id t = t.sid
+let service_name t = t.sname
+let env t = t.env
+let world t = t.world
+let current_epoch t = t.epoch
+
+(* ------------------------------------------------------------------ *)
+(* Policy installation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let multi_add table key v =
+  match Hashtbl.find_opt table key with
+  | Some l -> l := !l @ [ v ]
+  | None -> Hashtbl.replace table key (ref [ v ])
+
+let add_activation_rule t (rule : Rule.activation) = multi_add t.activations rule.role rule
+
+let add_authorization_rule t (rule : Rule.authorization) =
+  multi_add t.authorizations rule.privilege rule
+
+let set_appointer t ~kind ~rule = multi_add t.appointers kind rule
+
+let register_operation t privilege handler = Hashtbl.replace t.operations privilege handler
+
+(* ------------------------------------------------------------------ *)
+(* Credential validation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_own_rmc t ~principal_key (rmc : Rmc.t) =
+  Rmc.verify ~secret:t.secret ~principal_key rmc
+  && (match Cr.find t.crs rmc.id with Some record -> Cr.is_valid record | None -> false)
+
+let verify_own_appt t (appt : Appointment.t) =
+  Appointment.verify ~master_secret:t.secret ~current_epoch:t.epoch ~now:(World.now t.world) appt
+  && (match Cr.find t.crs appt.id with Some record -> Cr.is_valid record | None -> false)
+
+(* Starts an invalidation watch for a remote certificate, used both for
+   membership monitoring and for cache invalidation. *)
+let watch_invalidation t ~issuer ~cert_id ~on_dead =
+  let topic = Cr.topic_of ~issuer ~cert_id in
+  match World.monitoring t.world with
+  | Change_events ->
+      let sub =
+        Broker.subscribe (World.broker t.world) topic ~owner:t.sid (fun _topic event ->
+            match event with
+            | Protocol.Invalidated { reason; _ } -> on_dead reason
+            | Protocol.Beat _ | Protocol.Replicated _ -> ())
+      in
+      Watch_event sub
+  | Heartbeats { deadline; _ } ->
+      let monitor =
+        Heartbeat.watch
+          ~accept:(function Protocol.Beat _ -> true | _ -> false)
+          (World.broker t.world) (World.engine t.world) ~topic ~deadline
+          ~on_miss:(fun () -> on_dead "heartbeat missed")
+      in
+      Watch_beat monitor
+
+let drop_watch t = function
+  | Watch_event sub -> Broker.unsubscribe (World.broker t.world) sub
+  | Watch_beat monitor -> Heartbeat.cancel_watch monitor
+  | Watch_timer cancel -> Engine.cancel (World.engine t.world) cancel
+
+(* Remote validation with optional caching (Sect. 4, experiment E3). *)
+let validate_remote t ~make_request ~cert_id ~issuer =
+  let cached = t.config.cache_remote_validation && Vcache.lookup t.cache cert_id in
+  if cached then true
+  else begin
+    (* Datagram loss must not turn into a spurious denial: retry a bounded
+       number of times before giving up (the verdict itself is never
+       retried — a 'false' answer is authoritative). *)
+    let rec attempt tries_left =
+      t.st.callbacks_out <- t.st.callbacks_out + 1;
+      match Network.rpc (World.network t.world) ~src:t.sid ~dst:issuer (make_request ()) with
+      | reply -> reply
+      | exception Network.Rpc_dropped ->
+          if tries_left > 0 then attempt (tries_left - 1) else raise Network.Rpc_dropped
+    in
+    match attempt t.config.validation_retries with
+    | Protocol.Validate_result ok ->
+        if ok && t.config.cache_remote_validation then begin
+          Vcache.cache_valid t.cache cert_id;
+          if not (Ident.Tbl.mem t.cache_watched cert_id) then begin
+            let watch =
+              watch_invalidation t ~issuer ~cert_id ~on_dead:(fun _reason ->
+                  Vcache.invalidate t.cache cert_id;
+                  match Ident.Tbl.find_opt t.cache_watched cert_id with
+                  | Some w ->
+                      Ident.Tbl.remove t.cache_watched cert_id;
+                      drop_watch t w
+                  | None -> ())
+            in
+            Ident.Tbl.replace t.cache_watched cert_id watch
+          end
+        end;
+        ok
+    | _ -> false
+    | exception Network.Rpc_dropped -> false
+  end
+
+(* Challenge-response against a claimed public key (Sect. 4.1). *)
+let challenge_key t ~dst ~key =
+  match Elgamal.public_of_string key with
+  | None -> false
+  | Some public -> (
+      let challenge, pending = Challenge.issue (World.rng t.world) public in
+      match
+        Network.rpc (World.network t.world) ~src:t.sid ~dst
+          (Protocol.Challenge_msg { challenge; key_hint = key })
+      with
+      | Protocol.Challenge_response response -> Challenge.check pending response
+      | _ -> false
+      | exception Network.Rpc_dropped -> false)
+
+(* Validates every presented credential, returning solver candidates.
+   Invalid credentials are dropped (and counted): a wallet may legitimately
+   contain certificates that have expired or been revoked. *)
+let validate_presented t ~src ~session_key (creds : Protocol.credentials) =
+  let rmc_ok (rmc : Rmc.t) =
+    if Ident.equal rmc.issuer t.sid then verify_own_rmc t ~principal_key:session_key rmc
+    else
+      validate_remote t ~cert_id:rmc.id ~issuer:rmc.issuer ~make_request:(fun () ->
+          Protocol.Validate_rmc { rmc; principal_key = session_key })
+  in
+  let appt_ok (appt : Appointment.t) =
+    (if Ident.equal appt.issuer t.sid then verify_own_appt t appt
+     else
+       validate_remote t ~cert_id:appt.id ~issuer:appt.issuer ~make_request:(fun () ->
+           Protocol.Validate_appt { appt }))
+    && ((not t.config.challenge_appointment_holders)
+       (* Prove possession of the long-lived holder key: defeats stolen
+          appointment certificates (Sect. 4.1). *)
+       || challenge_key t ~dst:src ~key:appt.holder)
+  in
+  let keep_rmcs =
+    List.filter
+      (fun rmc ->
+        let ok = rmc_ok rmc in
+        if not ok then t.st.validation_failures <- t.st.validation_failures + 1;
+        ok)
+      creds.rmcs
+  in
+  let keep_appts =
+    List.filter
+      (fun appt ->
+        let ok = appt_ok appt in
+        if not ok then t.st.validation_failures <- t.st.validation_failures + 1;
+        ok)
+      creds.appointments
+  in
+  let rmc_creds =
+    List.map
+      (fun (rmc : Rmc.t) ->
+        { Solve.cred_id = rmc.id; issuer = rmc.issuer; cred_name = rmc.role; cred_args = rmc.args })
+      keep_rmcs
+  in
+  let appt_creds =
+    List.map
+      (fun (appt : Appointment.t) ->
+        {
+          Solve.cred_id = appt.id;
+          issuer = appt.issuer;
+          cred_name = appt.kind;
+          cred_args = appt.args;
+        })
+      keep_appts
+  in
+  (rmc_creds, appt_creds)
+
+let solver_context t ~rmc_creds ~appt_creds =
+  let by_issuer service creds name =
+    let issuer =
+      match service with None -> Some t.sid | Some symbolic -> World.resolve t.world symbolic
+    in
+    match issuer with
+    | None -> []
+    | Some issuer ->
+        List.filter
+          (fun (c : Solve.cred) -> Ident.equal c.issuer issuer && String.equal c.cred_name name)
+          creds
+  in
+  {
+    Solve.find_rmcs = (fun ~service ~name -> by_issuer service rmc_creds name);
+    find_appointments = (fun ~issuer ~name -> by_issuer issuer appt_creds name);
+    env_check = Env.check t.env;
+    env_enumerate = Env.enumerate t.env;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Revocation and cascading deactivation (Fig. 5)                     *)
+(* ------------------------------------------------------------------ *)
+
+let announce_invalidation t record reason =
+  Broker.publish (World.broker t.world) (Cr.topic record)
+    (Protocol.Invalidated { issuer = t.sid; cert_id = record.Cr.cert_id; reason })
+
+let deactivate_rmc t (issued : issued_rmc) ~reason ~cascade =
+  match Cr.revoke t.crs issued.rmc.Rmc.id ~at:(World.now t.world) ~reason with
+  | None -> () (* already revoked *)
+  | Some record ->
+      t.st.revocations <- t.st.revocations + 1;
+      if cascade then t.st.cascade_deactivations <- t.st.cascade_deactivations + 1;
+      Log.debug (fun m ->
+          m "%s deactivates %s (%s): %s" t.sname (Ident.to_string issued.rmc.Rmc.id)
+            issued.rmc.Rmc.role reason);
+      (match issued.beats with Some e -> Heartbeat.stop_emitter e | None -> ());
+      List.iter (drop_watch t) issued.watches;
+      issued.watches <- [];
+      issued.env_watch <- [];
+      announce_invalidation t record reason
+
+let revoke_appt t (ia : issued_appt) ~reason =
+  match Cr.revoke t.crs ia.appt.Appointment.id ~at:(World.now t.world) ~reason with
+  | None -> false
+  | Some record ->
+      t.st.revocations <- t.st.revocations + 1;
+      (match ia.appt_beats with Some e -> Heartbeat.stop_emitter e | None -> ());
+      announce_invalidation t record reason;
+      true
+
+let revoke_certificate t cert_id ~reason =
+  match Ident.Tbl.find_opt t.rmcs cert_id with
+  | Some issued ->
+      let was_valid = Cr.is_valid issued.record in
+      deactivate_rmc t issued ~reason ~cascade:false;
+      was_valid
+  | None -> (
+      match Ident.Tbl.find_opt t.appts cert_id with
+      | Some ia -> revoke_appt t ia ~reason
+      | None -> false)
+
+let rotate_secret t = t.epoch <- t.epoch + 1
+
+let decommission t ~reason =
+  (* Withdraw every credential this service ever issued; dependents
+     everywhere collapse through the usual channels. *)
+  let count = ref 0 in
+  Ident.Tbl.iter
+    (fun _ issued ->
+      if Cr.is_valid issued.record then begin
+        deactivate_rmc t issued ~reason ~cascade:false;
+        incr count
+      end)
+    t.rmcs;
+  Ident.Tbl.iter
+    (fun _ ia -> if revoke_appt t ia ~reason then incr count)
+    t.appts;
+  !count
+
+(* ------------------------------------------------------------------ *)
+(* Membership monitoring for a freshly issued RMC                     *)
+(* ------------------------------------------------------------------ *)
+
+let start_beats t record =
+  match World.monitoring t.world with
+  | Change_events -> None
+  | Heartbeats { period; _ } ->
+      Some
+        (Heartbeat.start_emitter (World.broker t.world) (World.engine t.world)
+           ~topic:(Cr.topic record) ~period
+           ~beat:(Protocol.Beat { issuer = t.sid; cert_id = record.Cr.cert_id }))
+
+let monitor_membership t (issued : issued_rmc) (proof : Solve.proof) =
+  let membership = proof.rule.membership in
+  let watch_cred (cred : Solve.cred) =
+    let watch =
+      watch_invalidation t ~issuer:cred.issuer ~cert_id:cred.cred_id ~on_dead:(fun why ->
+          deactivate_rmc t issued ~cascade:true
+            ~reason:
+              (Printf.sprintf "supporting credential %s invalid: %s"
+                 (Ident.to_string cred.cred_id) why))
+    in
+    issued.watches <- watch :: issued.watches
+  in
+  List.iteri
+    (fun i support ->
+      match support with
+      | Solve.By_rmc cred ->
+          (* Prerequisite RMCs are ALWAYS monitored: "active roles form
+             trees of role dependencies rooted on initial roles. If a
+             single initial role is deactivated ... all the active roles
+             dependent on it collapse" (Sect. 4). The '*' marker governs
+             the other condition kinds. *)
+          watch_cred cred
+      | Solve.By_appointment cred -> if List.nth membership i then watch_cred cred
+      | Solve.By_env _ when not (List.nth membership i) -> ()
+      | Solve.By_env (name, args) -> (
+            issued.env_watch <- (name, args) :: issued.env_watch;
+            (* Time-dependent constraints change truth value spontaneously:
+               schedule a re-check at the earliest possible flip. *)
+            match Env.next_change_time t.env name args with
+            | None -> ()
+            | Some at ->
+                let rec arm at =
+                  let cancel =
+                    Engine.schedule_at (World.engine t.world) ~at:(at +. 1e-9) (fun () ->
+                        if Cr.is_valid issued.record then
+                          if not (Env.check t.env name args) then
+                            deactivate_rmc t issued ~cascade:true
+                              ~reason:(Printf.sprintf "constraint %s no longer holds" name)
+                          else
+                            match Env.next_change_time t.env name args with
+                            | Some at' -> arm at'
+                            | None -> ())
+                  in
+                  issued.watches <- Watch_timer cancel :: issued.watches
+                in
+                arm at))
+    proof.support
+
+(* One env listener per service re-checks membership constraints whose
+   predicate was touched by a fact change (assert or retract: negated
+   conditions are falsified by assertions). *)
+let install_env_listener t =
+  Env.on_change t.env (fun changed_name _args _change ->
+      Ident.Tbl.iter
+        (fun _ issued ->
+          if Cr.is_valid issued.record then
+            List.iter
+              (fun (name, args) ->
+                let base =
+                  if String.length name > 0 && name.[0] = '!' then
+                    String.sub name 1 (String.length name - 1)
+                  else name
+                in
+                if String.equal base changed_name && not (Env.check t.env name args) then
+                  deactivate_rmc t issued ~cascade:true
+                    ~reason:(Printf.sprintf "constraint %s no longer holds" name))
+              issued.env_watch)
+        t.rmcs)
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let record_audit t ~principal ~action ~args ~support =
+  let creds_used =
+    List.filter_map
+      (function
+        | Solve.By_rmc c | Solve.By_appointment c -> Some c.Solve.cred_id
+        | Solve.By_env _ -> None)
+      support
+  in
+  t.audit <- { at = World.now t.world; principal; action; args; creds_used } :: t.audit
+
+let seed_from_requested (rule : Rule.activation) requested =
+  (* Positional unification of the requested parameter pins. *)
+  if requested = [] then Some Term.Subst.empty
+  else if List.length requested <> List.length rule.params then None
+  else
+    List.fold_left2
+      (fun acc param pin ->
+        match (acc, pin) with
+        | None, _ -> None
+        | Some subst, None -> Some subst
+        | Some subst, Some value -> Term.unify subst param value)
+      (Some Term.Subst.empty) rule.params requested
+
+let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
+  match Hashtbl.find_opt t.activations role with
+  | None ->
+      t.st.activations_denied <- t.st.activations_denied + 1;
+      Protocol.Denied (Protocol.Unknown_role role)
+  | Some rules ->
+      let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
+      let ctx = solver_context t ~rmc_creds ~appt_creds in
+      let challenge_ok =
+        (not t.config.challenge_on_activation) || challenge_key t ~dst:src ~key:session_key
+      in
+      if not challenge_ok then begin
+        t.st.activations_denied <- t.st.activations_denied + 1;
+        Protocol.Denied Protocol.Challenge_failed
+      end
+      else
+        let proof =
+          (* A rule that proves but leaves a head parameter unbound, or one
+             naming an unknown predicate, is a policy configuration error:
+             refuse the request and log, never crash the service. *)
+          try
+            Ok
+              (List.find_map
+                 (fun rule ->
+                   match seed_from_requested rule requested with
+                   | None -> None
+                   | Some seed -> Solve.activation ctx rule ~seed ())
+                 !rules)
+          with
+          | Oasis_policy.Solve.Unbound_head (r, v) ->
+              Error (Printf.sprintf "policy error: unbound head parameter %s in role %s" v r)
+          | Env.Unknown_predicate p ->
+              Error (Printf.sprintf "policy error: unknown predicate %s" p)
+        in
+        match proof with
+        | Error message ->
+            t.st.activations_denied <- t.st.activations_denied + 1;
+            Log.err (fun m -> m "%s: %s" t.sname message);
+            Protocol.Denied (Protocol.Bad_request message)
+        | Ok None ->
+            t.st.activations_denied <- t.st.activations_denied + 1;
+            Protocol.Denied Protocol.No_proof
+        | Ok (Some proof) ->
+            let cert_id = World.fresh_cert_id t.world in
+            let now = World.now t.world in
+            let rmc =
+              Rmc.issue ~secret:t.secret ~principal_key:session_key ~id:cert_id ~issuer:t.sid
+                ~role ~args:proof.role_args ~issued_at:now
+            in
+            let record =
+              Cr.add t.crs ~cert_id ~issuer:t.sid ~kind:Cr.Kind_rmc ~principal ~name:role
+                ~args:proof.role_args ~issued_at:now
+            in
+            let issued =
+              {
+                rmc;
+                record;
+                initial = proof.rule.initial;
+                session_key;
+                ir_principal = principal;
+                watches = [];
+                env_watch = [];
+                beats = start_beats t record;
+              }
+            in
+            Ident.Tbl.replace t.rmcs cert_id issued;
+            monitor_membership t issued proof;
+            record_audit t ~principal ~action:("activate:" ^ role) ~args:proof.role_args
+              ~support:proof.support;
+            t.st.activations_granted <- t.st.activations_granted + 1;
+            Log.debug (fun m ->
+                m "%s grants %s(%s) to %a" t.sname role
+                  (String.concat ", " (List.map Value.to_string proof.role_args))
+                  Ident.pp principal);
+            Protocol.Activate_ok { rmc; initial = proof.rule.initial }
+
+(* Authorization search with the same policy-error containment. *)
+let solve_privilege ctx rules args =
+  try
+    Ok
+      (List.find_map
+         (fun (rule : Rule.authorization) ->
+           if List.length rule.priv_args <> List.length args then None
+           else
+             match
+               List.fold_left2
+                 (fun acc param value ->
+                   match acc with None -> None | Some s -> Term.unify s param value)
+                 (Some Term.Subst.empty) rule.priv_args args
+             with
+             | None -> None
+             | Some seed -> Solve.authorization ctx rule ~seed ())
+         rules)
+  with Env.Unknown_predicate p ->
+    Error (Printf.sprintf "policy error: unknown predicate %s" p)
+
+let handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds =
+  match Hashtbl.find_opt t.authorizations privilege with
+  | None ->
+      t.st.invocations_denied <- t.st.invocations_denied + 1;
+      Protocol.Denied (Protocol.Unknown_privilege privilege)
+  | Some rules ->
+      let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
+      let ctx = solver_context t ~rmc_creds ~appt_creds in
+      let challenge_ok =
+        (not t.config.challenge_on_invocation) || challenge_key t ~dst:src ~key:session_key
+      in
+      if not challenge_ok then begin
+        t.st.invocations_denied <- t.st.invocations_denied + 1;
+        Protocol.Denied Protocol.Challenge_failed
+      end
+      else
+        match solve_privilege ctx !rules args with
+        | Error message ->
+            t.st.invocations_denied <- t.st.invocations_denied + 1;
+            Log.err (fun m -> m "%s: %s" t.sname message);
+            Protocol.Denied (Protocol.Bad_request message)
+        | Ok None ->
+            t.st.invocations_denied <- t.st.invocations_denied + 1;
+            Protocol.Denied Protocol.No_proof
+        | Ok (Some (_subst, support)) ->
+            record_audit t ~principal ~action:privilege ~args ~support;
+            t.st.invocations_granted <- t.st.invocations_granted + 1;
+            let result =
+              match Hashtbl.find_opt t.operations privilege with
+              | Some operation -> operation ~principal args
+              | None -> None
+            in
+            Protocol.Invoke_ok result
+
+let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_key ~expires_at
+    ~creds =
+  match Hashtbl.find_opt t.appointers kind with
+  | None ->
+      t.st.appointments_denied <- t.st.appointments_denied + 1;
+      Protocol.Denied (Protocol.Unknown_privilege ("appoint:" ^ kind))
+  | Some rules ->
+      let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
+      let ctx = solver_context t ~rmc_creds ~appt_creds in
+      let challenge_ok =
+        (not t.config.challenge_on_invocation) || challenge_key t ~dst:src ~key:session_key
+      in
+      if not challenge_ok then begin
+        t.st.appointments_denied <- t.st.appointments_denied + 1;
+        Protocol.Denied Protocol.Challenge_failed
+      end
+      else
+        match solve_privilege ctx !rules args with
+        | Error message ->
+            t.st.appointments_denied <- t.st.appointments_denied + 1;
+            Log.err (fun m -> m "%s: %s" t.sname message);
+            Protocol.Denied (Protocol.Bad_request message)
+        | Ok None ->
+            t.st.appointments_denied <- t.st.appointments_denied + 1;
+            Protocol.Denied Protocol.No_proof
+        | Ok (Some (_subst, support)) ->
+            let cert_id = World.fresh_cert_id t.world in
+            let now = World.now t.world in
+            let appt =
+              Appointment.issue ~master_secret:t.secret ~epoch:t.epoch ~id:cert_id
+                ~issuer:t.sid ~kind ~args ~holder:holder_key ~issued_at:now ?expires_at ()
+            in
+            let record =
+              Cr.add t.crs ~cert_id ~issuer:t.sid ~kind:Cr.Kind_appointment ~principal:holder
+                ~name:kind ~args ~issued_at:now
+            in
+            let ia = { appt; appt_record = record; appt_beats = start_beats t record } in
+            Ident.Tbl.replace t.appts cert_id ia;
+            (* The issuer announces expiry on the event channel so dependent
+               roles collapse at the deadline, not at next validation. *)
+            (match expires_at with
+            | Some at when at > now ->
+                ignore
+                  (Engine.schedule_at (World.engine t.world) ~at (fun () ->
+                       ignore (revoke_appt t ia ~reason:"expired")))
+            | Some _ | None -> ());
+            record_audit t ~principal ~action:("appoint:" ^ kind) ~args ~support;
+            t.st.appointments_granted <- t.st.appointments_granted + 1;
+            Protocol.Appoint_ok appt
+
+let handle_deactivate t ~cert_id ~session_key =
+  match Ident.Tbl.find_opt t.rmcs cert_id with
+  | Some issued when String.equal issued.session_key session_key ->
+      deactivate_rmc t issued ~reason:"deactivated by principal" ~cascade:false;
+      Protocol.Deactivate_ok
+  | Some _ -> Protocol.Denied (Protocol.Bad_credential cert_id)
+  | None -> Protocol.Denied (Protocol.Bad_credential cert_id)
+
+let handle_validate_rmc t ~rmc ~principal_key =
+  t.st.callbacks_in <- t.st.callbacks_in + 1;
+  Protocol.Validate_result (verify_own_rmc t ~principal_key rmc)
+
+let handle_validate_appt t ~appt =
+  t.st.callbacks_in <- t.st.callbacks_in + 1;
+  Protocol.Validate_result (verify_own_appt t appt)
+
+let handle_rpc t ~src msg =
+  match msg with
+  | Protocol.Activate { principal; session_key; role; requested; creds } ->
+      handle_activate t ~src ~principal ~session_key ~role ~requested ~creds
+  | Protocol.Invoke { principal; session_key; privilege; args; creds } ->
+      handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds
+  | Protocol.Appoint { principal; session_key; kind; args; holder; holder_key; expires_at; creds }
+    ->
+      handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_key ~expires_at
+        ~creds
+  | Protocol.Deactivate { cert_id; session_key } -> handle_deactivate t ~cert_id ~session_key
+  | Protocol.Validate_rmc { rmc; principal_key } -> handle_validate_rmc t ~rmc ~principal_key
+  | Protocol.Validate_appt { appt } -> handle_validate_appt t ~appt
+  | Protocol.Env_check { pred; args } ->
+      (* Answer remote environmental lookups against our database (Sect. 2:
+         "database lookup at some service"). Unknown predicates answer
+         [false] to the remote — our own policy errors stay local. *)
+      Protocol.Env_result (match Env.check t.env pred args with ok -> ok | exception Env.Unknown_predicate _ -> false)
+  | Protocol.Activate_ok _ | Protocol.Invoke_ok _ | Protocol.Appoint_ok _
+  | Protocol.Deactivate_ok | Protocol.Validate_result _ | Protocol.Challenge_msg _
+  | Protocol.Challenge_response _ | Protocol.Env_result _ | Protocol.Denied _ ->
+      Protocol.Denied (Protocol.Bad_request "not a request")
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let install_policy t statements =
+  List.iter
+    (function
+      | Parser.Activation rule -> add_activation_rule t rule
+      | Parser.Authorization rule -> add_authorization_rule t rule
+      | Parser.Appointer rule -> set_appointer t ~kind:rule.Rule.privilege ~rule)
+    statements
+
+let create world ~name ?(config = default_config) ?env ~policy () =
+  let sid = World.fresh_service_id world in
+  let env =
+    match env with Some e -> e | None -> Env.create (Engine.clock (World.engine world))
+  in
+  let t =
+    {
+      world;
+      sid;
+      sname = name;
+      config;
+      env;
+      secret = Secret.generate (World.rng world);
+      epoch = 0;
+      activations = Hashtbl.create 16;
+      authorizations = Hashtbl.create 16;
+      appointers = Hashtbl.create 8;
+      operations = Hashtbl.create 8;
+      crs = Cr.create_store ();
+      rmcs = Ident.Tbl.create 64;
+      appts = Ident.Tbl.create 64;
+      cache = Vcache.create ();
+      cache_watched = Ident.Tbl.create 64;
+      st =
+        {
+          activations_granted = 0;
+          activations_denied = 0;
+          invocations_granted = 0;
+          invocations_denied = 0;
+          appointments_granted = 0;
+          appointments_denied = 0;
+          callbacks_in = 0;
+          callbacks_out = 0;
+          validation_failures = 0;
+          revocations = 0;
+          cascade_deactivations = 0;
+        };
+      audit = [];
+    }
+  in
+  install_policy t (Parser.parse_exn policy);
+  install_env_listener t;
+  World.register_service world ~name sid;
+  Oasis_sim.Network.add_node (World.network world) sid
+    {
+      on_oneway = (fun ~src:_ _msg -> ());
+      on_rpc = (fun ~src msg -> handle_rpc t ~src msg);
+    };
+  t
+
+(* Registers [local_name] as a computed predicate answered by [at]'s
+   environment over the network. Must be evaluated from within a simulated
+   process (true during request handling). A network failure counts as
+   "does not hold". *)
+let register_remote_predicate t ~local_name ~at ~remote_name =
+  Env.register t.env local_name (fun args ->
+      match
+        Network.rpc (World.network t.world) ~src:t.sid ~dst:at
+          (Protocol.Env_check { pred = remote_name; args })
+      with
+      | Protocol.Env_result ok -> ok
+      | _ -> false
+      | exception Network.Rpc_dropped -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let is_valid_certificate t cert_id =
+  match Cr.find t.crs cert_id with Some record -> Cr.is_valid record | None -> false
+
+let active_roles t =
+  Ident.Tbl.fold
+    (fun cert_id issued acc ->
+      if Cr.is_valid issued.record then
+        (cert_id, issued.rmc.Rmc.role, issued.rmc.Rmc.args, issued.ir_principal) :: acc
+      else acc)
+    t.rmcs []
+
+let roles_defined t = Hashtbl.fold (fun role _ acc -> role :: acc) t.activations [] |> List.sort compare
+
+let privileges_defined t =
+  Hashtbl.fold (fun privilege _ acc -> privilege :: acc) t.authorizations [] |> List.sort compare
+
+let audit_log t = t.audit
+
+let stats t =
+  {
+    activations_granted = t.st.activations_granted;
+    activations_denied = t.st.activations_denied;
+    invocations_granted = t.st.invocations_granted;
+    invocations_denied = t.st.invocations_denied;
+    appointments_granted = t.st.appointments_granted;
+    appointments_denied = t.st.appointments_denied;
+    callbacks_in = t.st.callbacks_in;
+    callbacks_out = t.st.callbacks_out;
+    validation_failures = t.st.validation_failures;
+    revocations = t.st.revocations;
+    cascade_deactivations = t.st.cascade_deactivations;
+    cache = Vcache.stats t.cache;
+  }
+
+let reset_stats t =
+  t.st.activations_granted <- 0;
+  t.st.activations_denied <- 0;
+  t.st.invocations_granted <- 0;
+  t.st.invocations_denied <- 0;
+  t.st.appointments_granted <- 0;
+  t.st.appointments_denied <- 0;
+  t.st.callbacks_in <- 0;
+  t.st.callbacks_out <- 0;
+  t.st.validation_failures <- 0;
+  t.st.revocations <- 0;
+  t.st.cascade_deactivations <- 0;
+  Vcache.reset_stats t.cache

@@ -1,0 +1,145 @@
+(** An OASIS-secured service (Fig. 2).
+
+    A service names its client roles, holds the formally specified policy for
+    role activation and invocation, issues encryption-protected RMCs, keeps
+    credential records, answers validation callbacks, and — through the event
+    middleware — actively monitors the membership conditions of every role it
+    has granted, deactivating immediately when one becomes false (Sect. 2–4).
+
+    Server-side message handling runs inside simulated processes, so a
+    service's policy evaluation may itself perform validation callbacks to
+    other services, and its registered operations may invoke further
+    services — the cross-domain chains of Fig. 3. *)
+
+type t
+
+type config = {
+  challenge_on_activation : bool;
+      (** run ISO/9798 challenge–response against the claimed session key
+          before granting a role (Sect. 4.1); default off, as within a
+          firewall-protected domain (Sect. 4.1 opening) *)
+  challenge_on_invocation : bool;
+  challenge_appointment_holders : bool;
+      (** on presenting an appointment certificate, challenge the presenter
+          to prove possession of the long-lived holder key bound into it —
+          the Sect. 4.1 defence against stolen appointment certificates;
+          default off (the firewalled-domain assumption) *)
+  cache_remote_validation : bool;
+      (** cache positive callback verdicts, invalidated over the issuer's
+          event channel (Sect. 4); default on *)
+  validation_retries : int;
+      (** extra attempts when a validation callback datagram is lost; a
+          negative verdict is never retried; default 2 *)
+}
+
+val default_config : config
+
+val create :
+  World.t ->
+  name:string ->
+  ?config:config ->
+  ?env:Oasis_policy.Env.t ->
+  policy:string ->
+  unit ->
+  t
+(** Creates the service, registers it on the network and in the world's
+    name registry, and installs the parsed policy. Raises [Failure] on a
+    policy syntax error. The [env] defaults to a fresh environment private
+    to this service; pass a shared one to model services reading one
+    domain database. *)
+
+val id : t -> Oasis_util.Ident.t
+val service_name : t -> string
+val env : t -> Oasis_policy.Env.t
+val world : t -> World.t
+
+(** {1 Policy administration} *)
+
+val add_activation_rule : t -> Oasis_policy.Rule.activation -> unit
+val add_authorization_rule : t -> Oasis_policy.Rule.authorization -> unit
+
+val set_appointer : t -> kind:string -> rule:Oasis_policy.Rule.authorization -> unit
+(** Installs the policy governing who may issue appointment certificates of
+    [kind] at this service ("being active in certain roles carries the
+    privilege of issuing appointment certificates", Sect. 1). The rule's
+    [priv_args] bind the appointment's parameters. *)
+
+val register_operation :
+  t -> string -> (principal:Oasis_util.Ident.t -> Oasis_util.Value.t list -> Oasis_util.Value.t option) -> unit
+(** Binds application code to a privilege; run after authorization succeeds.
+    The handler executes inside a simulated process and may therefore invoke
+    other services. A privilege without an operation authorizes and audits
+    but returns no value. *)
+
+val register_remote_predicate :
+  t -> local_name:string -> at:Oasis_util.Ident.t -> remote_name:string -> unit
+(** Makes [env:local_name(args)] a database lookup at another service
+    (Sect. 2: "the user is a member of a group; this may be ascertained by
+    database lookup at some service"). Evaluation performs an RPC to [at]
+    at rule-evaluation time; unreachable or unknown remote predicates count
+    as not holding. Note: remote predicates cannot be actively monitored —
+    use them in activation conditions, not membership rules, or mirror the
+    facts locally. *)
+
+(** {1 Administration} *)
+
+val revoke_certificate : t -> Oasis_util.Ident.t -> reason:string -> bool
+(** Administratively revokes a certificate issued here (RMC or appointment):
+    the credential record is invalidated, the change is announced on its
+    event channel, and dependent roles everywhere collapse (Fig. 5). [false]
+    if unknown or already revoked. *)
+
+val decommission : t -> reason:string -> int
+(** Administrative shutdown: revokes every certificate this service issued
+    (RMCs and appointments); returns how many were withdrawn. Every session
+    and foreign role that depended on this service's credentials collapses
+    through the event infrastructure. *)
+
+val rotate_secret : t -> unit
+(** Advances the appointment-signing epoch: all previously issued
+    appointment certificates stop validating and must be re-issued
+    (Sect. 4.1). RMCs are unaffected — they are session-scoped. *)
+
+val current_epoch : t -> int
+
+(** {1 Introspection} *)
+
+val is_valid_certificate : t -> Oasis_util.Ident.t -> bool
+(** Whether this issuer's credential record for the certificate is valid. *)
+
+val active_roles : t -> (Oasis_util.Ident.t * string * Oasis_util.Value.t list * Oasis_util.Ident.t) list
+(** [(cert_id, role, args, principal)] for every currently valid RMC. *)
+
+val roles_defined : t -> string list
+val privileges_defined : t -> string list
+
+(** An audit record of a granted request; Sect. 3 requires "the identity of
+    the original requester ... recorded for audit". *)
+type audit_entry = {
+  at : float;
+  principal : Oasis_util.Ident.t;
+  action : string;  (** privilege name, or ["activate:role"] / ["appoint:kind"] *)
+  args : Oasis_util.Value.t list;
+  creds_used : Oasis_util.Ident.t list;  (** certificate ids supporting the proof *)
+}
+
+val audit_log : t -> audit_entry list
+(** Newest first. *)
+
+type stats = {
+  activations_granted : int;
+  activations_denied : int;
+  invocations_granted : int;
+  invocations_denied : int;
+  appointments_granted : int;
+  appointments_denied : int;
+  callbacks_in : int;  (** validation requests answered as issuer *)
+  callbacks_out : int;  (** validation requests made about remote certificates *)
+  validation_failures : int;  (** presented credentials dropped as invalid *)
+  revocations : int;  (** credential records invalidated here *)
+  cascade_deactivations : int;  (** revocations triggered by monitoring, not administration *)
+  cache : Oasis_cert.Validation_cache.stats;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,91 @@
+module Engine = Oasis_sim.Engine
+module Network = Oasis_sim.Network
+module Proc = Oasis_sim.Proc
+module Broker = Oasis_event.Broker
+module Rng = Oasis_util.Rng
+module Ident = Oasis_util.Ident
+
+type heartbeat_config = { period : float; deadline : float }
+
+type monitoring =
+  | Change_events
+  | Heartbeats of heartbeat_config
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  network : Protocol.msg Network.t;
+  broker : Protocol.event Broker.t;
+  monitoring : monitoring;
+  names : (string, Ident.t) Hashtbl.t;
+  ids : string Ident.Tbl.t;
+  cert_gen : Ident.gen;
+  service_gen : Ident.gen;
+  principal_gen : Ident.gen;
+  anon_gen : Ident.gen;
+}
+
+let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_latency = 0.001)
+    ?(monitoring = Change_events) () =
+  let engine = Engine.create () in
+  let rng = Rng.create seed in
+  let network =
+    Network.create engine (Rng.split rng) ~default_latency:net_latency ~default_jitter:net_jitter
+      ~size_of:Protocol.size_of ()
+  in
+  let broker = Broker.create engine (Rng.split rng) ~notify_latency () in
+  {
+    engine;
+    rng;
+    network;
+    broker;
+    monitoring;
+    names = Hashtbl.create 16;
+    ids = Ident.Tbl.create 16;
+    cert_gen = Ident.generator "cert";
+    service_gen = Ident.generator "service";
+    principal_gen = Ident.generator "principal";
+    anon_gen = Ident.generator "anon";
+  }
+
+let engine t = t.engine
+let rng t = t.rng
+let network t = t.network
+let broker t = t.broker
+let monitoring t = t.monitoring
+let now t = Engine.now t.engine
+
+let fresh_cert_id t = Ident.fresh t.cert_gen
+let fresh_service_id t = Ident.fresh t.service_gen
+let fresh_principal_id t = Ident.fresh t.principal_gen
+let fresh_anon_id t = Ident.fresh t.anon_gen
+
+let register_service t ~name id =
+  if Hashtbl.mem t.names name then
+    invalid_arg (Printf.sprintf "World.register_service: name %s already bound" name);
+  Hashtbl.replace t.names name id;
+  Ident.Tbl.replace t.ids id name
+
+let resolve t name = Hashtbl.find_opt t.names name
+
+let service_name t id = Ident.Tbl.find_opt t.ids id
+
+let spawn t f = Proc.spawn t.engine f
+
+let run t = Engine.run t.engine
+
+let run_until t horizon = Engine.run_until t.engine horizon
+
+let settle ?(horizon = 1.0) t = Engine.run_until t.engine (Engine.now t.engine +. horizon)
+
+let run_proc t f =
+  let result = ref None in
+  spawn t (fun () -> result := Some (f ()));
+  (* Step rather than run to completion: recurring activity (heartbeat
+     emitters) keeps the queue non-empty forever. *)
+  while Option.is_none !result && Engine.step t.engine do
+    ()
+  done;
+  match !result with
+  | Some v -> v
+  | None -> failwith "World.run_proc: process did not complete (deadlock or lost message?)"

@@ -1,0 +1,72 @@
+(** A simulated OASIS world: engine, network, event middleware, registries.
+
+    The world owns the shared infrastructure every node plugs into and the
+    symbolic service-name registry that policy rules resolve against
+    ("@hospital" in a rule body → the hospital service's identifier). *)
+
+(** How services monitor the membership conditions of active roles (the
+    Fig. 5 ablation, experiment E5):
+    - [Change_events]: issuers publish invalidation events; dependents react
+      immediately on delivery.
+    - [Heartbeats]: issuers beat every [period] per valid credential record;
+      dependents declare a credential dead after [deadline] without a beat. *)
+type heartbeat_config = { period : float; deadline : float }
+
+type monitoring =
+  | Change_events
+  | Heartbeats of heartbeat_config
+
+type t
+
+val create :
+  ?seed:int ->
+  ?net_latency:float ->
+  ?net_jitter:float ->
+  ?notify_latency:float ->
+  ?monitoring:monitoring ->
+  unit ->
+  t
+(** Defaults: seed 1, 1 ms network latency, no jitter, 1 ms notification
+    latency, change-event monitoring. Latencies are in (virtual) seconds. *)
+
+val engine : t -> Oasis_sim.Engine.t
+val rng : t -> Oasis_util.Rng.t
+val network : t -> Protocol.msg Oasis_sim.Network.t
+val broker : t -> Protocol.event Oasis_event.Broker.t
+val monitoring : t -> monitoring
+val now : t -> float
+
+val fresh_cert_id : t -> Oasis_util.Ident.t
+val fresh_service_id : t -> Oasis_util.Ident.t
+val fresh_principal_id : t -> Oasis_util.Ident.t
+
+val fresh_anon_id : t -> Oasis_util.Ident.t
+(** Pseudonymous principal aliases for anonymous invocation (Sect. 5). *)
+
+val register_service : t -> name:string -> Oasis_util.Ident.t -> unit
+(** Binds a symbolic service name. Raises [Invalid_argument] on rebinding. *)
+
+val resolve : t -> string -> Oasis_util.Ident.t option
+val service_name : t -> Oasis_util.Ident.t -> string option
+
+val spawn : t -> (unit -> unit) -> unit
+(** Starts a simulated process (see {!Oasis_sim.Proc}). *)
+
+val run : t -> unit
+(** Runs the engine until quiescence. *)
+
+val run_until : t -> float -> unit
+
+val settle : ?horizon:float -> t -> unit
+(** [settle t] runs one virtual second (by default) past the current time —
+    long enough for in-flight messages, notifications and cascades to
+    complete at millisecond latencies, without executing far-future timers
+    such as certificate expiries. Use {!run} only when draining the whole
+    timeline (including expiries) is intended. *)
+
+val run_proc : t -> (unit -> 'a) -> 'a
+(** [run_proc t f] spawns [f] and executes engine events until [f]
+    completes, then returns its result (leaving later-scheduled events —
+    e.g. recurring heartbeats — pending). Raises [Failure] if the event
+    queue drains without [f] completing (deadlock or lost message) — tests
+    want that loudly. *)

@@ -1,0 +1,1 @@
+lib/crypto/challenge.ml: Bytes Char Elgamal Hmac Int64 Modp Oasis_util Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/challenge.mli: Elgamal Oasis_util

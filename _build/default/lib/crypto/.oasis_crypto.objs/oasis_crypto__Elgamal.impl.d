@@ -1,0 +1,1 @@
+lib/crypto/elgamal.ml: Int64 Modp

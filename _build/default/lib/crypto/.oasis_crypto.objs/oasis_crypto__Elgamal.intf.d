@@ -1,0 +1,1 @@
+lib/crypto/elgamal.mli: Oasis_util

@@ -1,0 +1,1 @@
+lib/crypto/modp.ml: Int64 Oasis_util

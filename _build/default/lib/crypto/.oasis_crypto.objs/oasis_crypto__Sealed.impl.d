@@ -1,0 +1,1 @@
+lib/crypto/sealed.ml: Bytes Char Elgamal Hmac Modp Printf Sha256 String

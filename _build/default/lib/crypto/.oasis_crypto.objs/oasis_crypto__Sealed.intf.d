@@ -1,0 +1,1 @@
+lib/crypto/sealed.mli: Elgamal Oasis_util Sha256

@@ -1,0 +1,1 @@
+lib/crypto/secret.ml: Bytes Char Hmac Oasis_util Printf String

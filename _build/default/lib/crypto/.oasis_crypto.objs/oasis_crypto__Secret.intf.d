@@ -1,0 +1,1 @@
+lib/crypto/secret.mli: Oasis_util

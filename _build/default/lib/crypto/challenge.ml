@@ -1,0 +1,28 @@
+type challenge = { encrypted : Elgamal.ciphertext; nonce : string }
+
+type pending = { expected : string; mutable used : bool }
+
+let response_of ~nonce plain =
+  Sha256.to_raw_string (Hmac.mac ~key:nonce (Int64.to_string plain))
+
+let issue rng pub =
+  let plain = Modp.random rng in
+  let nonce = Bytes.to_string (Oasis_util.Rng.bytes rng 16) in
+  let encrypted = Elgamal.encrypt rng pub plain in
+  ({ encrypted; nonce }, { expected = response_of ~nonce plain; used = false })
+
+let respond priv { encrypted; nonce } =
+  response_of ~nonce (Elgamal.decrypt priv encrypted)
+
+let check pending response =
+  if pending.used then false
+  else begin
+    pending.used <- true;
+    String.length response = String.length pending.expected
+    &&
+    let acc = ref 0 in
+    String.iteri
+      (fun i c -> acc := !acc lor (Char.code c lxor Char.code pending.expected.[i]))
+      response;
+    !acc = 0
+  end

@@ -1,0 +1,30 @@
+(** ISO/9798-style challenge–response (Sect. 4.1).
+
+    "The issuing service produces a random challenge, encrypted with the
+    public key presented by the activator, and a nonce. The client must
+    respond with the challenge in plaintext encrypted with the nonce. Upon
+    receiving this, the service can conclude that the activator has access to
+    the private key corresponding to the public key presented."
+
+    The flow is split into explicit steps so that the simulated network can
+    carry each message and tests can interpose an adversary at any point. *)
+
+type challenge = {
+  encrypted : Elgamal.ciphertext;  (** the random challenge, under the claimed public key *)
+  nonce : string;  (** fresh symmetric key material for the response *)
+}
+
+type pending
+(** Server-side state awaiting the response; single-use. *)
+
+val issue : Oasis_util.Rng.t -> Elgamal.public -> challenge * pending
+(** Server step: produce the challenge for a claimed public key. *)
+
+val respond : Elgamal.private_key -> challenge -> string
+(** Client step: decrypt the challenge and key the response with the nonce.
+    A client holding the wrong private key produces a response that fails
+    {!check}. *)
+
+val check : pending -> string -> bool
+(** Server step: verify the response. Each [pending] verifies at most once;
+    replays of an already-checked exchange are rejected. *)

@@ -1,0 +1,25 @@
+type public = int64
+type private_key = int64
+
+type keypair = { public : public; private_key : private_key }
+
+let generate rng =
+  let x = Modp.random rng in
+  { public = Modp.pow Modp.generator x; private_key = x }
+
+type ciphertext = { c1 : int64; c2 : int64 }
+
+let encrypt rng pub m =
+  let k = Modp.random rng in
+  { c1 = Modp.pow Modp.generator k; c2 = Modp.mul (Modp.of_int64 m) (Modp.pow pub k) }
+
+let decrypt x { c1; c2 } = Modp.mul c2 (Modp.inv (Modp.pow c1 x))
+
+let public_to_string = Int64.to_string
+
+let public_of_string s =
+  match Int64.of_string_opt s with
+  | Some v when v > 0L && v < Modp.p -> Some v
+  | _ -> None
+
+let proves x pub = Modp.pow Modp.generator x = pub

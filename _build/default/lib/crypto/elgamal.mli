@@ -1,0 +1,28 @@
+(** ElGamal over GF(2^61 − 1): the simulated public-key layer.
+
+    Sect. 4.1 integrates OASIS with public/private key cryptography: "a
+    key-pair can be created by the principal and the public key sent to the
+    service to be bound into the certificate". This module supplies such key
+    pairs and the asymmetric encryption used by the challenge–response
+    protocol. Toy field size; genuine algorithm (see DESIGN.md §3). *)
+
+type public = int64
+type private_key
+
+type keypair = { public : public; private_key : private_key }
+
+val generate : Oasis_util.Rng.t -> keypair
+
+type ciphertext = { c1 : int64; c2 : int64 }
+
+val encrypt : Oasis_util.Rng.t -> public -> int64 -> ciphertext
+(** [encrypt rng pub m] encrypts a field element under [pub]. *)
+
+val decrypt : private_key -> ciphertext -> int64
+
+val public_to_string : public -> string
+val public_of_string : string -> public option
+
+val proves : private_key -> public -> bool
+(** [proves priv pub] — whether [priv] is the private key of [pub]; used by
+    tests and by local key-consistency checks. *)

@@ -1,0 +1,28 @@
+let block_size = 64
+
+let normalise_key key =
+  let key = if String.length key > block_size then Sha256.(to_raw_string (digest_string key)) else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.to_string padded
+
+let xor_with pad c =
+  String.map (fun k -> Char.chr (Char.code k lxor c)) pad
+
+let mac ~key msg =
+  let key0 = normalise_key key in
+  let ipad = xor_with key0 0x36 in
+  let opad = xor_with key0 0x5c in
+  let inner = Sha256.init () in
+  Sha256.feed_string inner ipad;
+  Sha256.feed_string inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed_string outer opad;
+  Sha256.feed_string outer (Sha256.to_raw_string inner_digest);
+  Sha256.finalize outer
+
+let verify ~key msg expected = Sha256.equal (mac ~key msg) expected
+
+let derive_key ~key label =
+  Sha256.to_raw_string (mac ~key ("oasis-kdf\x00" ^ label))

@@ -1,0 +1,58 @@
+let p = 0x1FFFFFFFFFFFFFFFL (* 2^61 - 1 *)
+
+let generator = 3L
+
+(* Reduces x in [0, 2^63) modulo the Mersenne prime using 2^61 ≡ 1 (mod p). *)
+let reduce x =
+  let r = Int64.add (Int64.logand x p) (Int64.shift_right_logical x 61) in
+  if r >= p then Int64.sub r p else r
+
+let of_int64 x =
+  let x = Int64.rem x p in
+  if x < 0L then Int64.add x p else x
+
+let add a b = reduce (Int64.add a b)
+
+let sub a b = reduce (Int64.add a (Int64.sub p b))
+
+(* Full 61x61 -> 122-bit product reduced mod p. Operands are split into
+   31-bit halves so every intermediate fits in a signed int64:
+     a*b = a1*b1*2^62 + (a1*b0 + a0*b1)*2^31 + a0*b0
+   and 2^62 ≡ 2, mid*2^31 = m1*2^61 + m0*2^31 ≡ m1 + m0*2^31 (mod p). *)
+let mul a b =
+  let mask31 = 0x7FFFFFFFL in
+  let a1 = Int64.shift_right_logical a 31 and a0 = Int64.logand a mask31 in
+  let b1 = Int64.shift_right_logical b 31 and b0 = Int64.logand b mask31 in
+  let hi = reduce (Int64.mul a1 b1) in
+  (* a1*b1 < 2^60 *)
+  let mid = Int64.add (Int64.mul a1 b0) (Int64.mul a0 b1) in
+  (* < 2^62 *)
+  let m1 = Int64.shift_right_logical mid 30 in
+  let m0 = Int64.logand mid 0x3FFFFFFFL in
+  (* mid*2^31 = m1*2^61 + m0*2^31 ≡ m1 + m0*2^31 *)
+  let mid_red = reduce (Int64.add m1 (Int64.shift_left m0 31)) in
+  let lo = reduce (Int64.mul a0 b0) in
+  (* < 2^62 *)
+  reduce (Int64.add (reduce (Int64.add (reduce (Int64.shift_left hi 1)) mid_red)) lo)
+
+let pow base e =
+  if e < 0L then invalid_arg "Modp.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0L then acc
+    else
+      let acc = if Int64.logand e 1L = 1L then mul acc base else acc in
+      go acc (mul base base) (Int64.shift_right_logical e 1)
+  in
+  go 1L (of_int64 base) e
+
+let inv a =
+  let a = of_int64 a in
+  if a = 0L then invalid_arg "Modp.inv: zero has no inverse";
+  pow a (Int64.sub p 2L)
+
+let random rng =
+  let rec draw () =
+    let x = Int64.logand (Oasis_util.Rng.int64 rng) p in
+    if x = 0L || x >= p then draw () else x
+  in
+  draw ()

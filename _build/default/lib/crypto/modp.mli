@@ -1,0 +1,29 @@
+(** Arithmetic in GF(p) for the Mersenne prime p = 2^61 − 1.
+
+    Provides the group underlying the simulated public-key operations
+    (Diffie–Hellman / ElGamal in {!Elgamal}). A 61-bit field is far too small
+    for real security; it is used here so that the challenge–response
+    integration of Sect. 4.1 exercises genuine modular-exponentiation code
+    paths without an arbitrary-precision dependency. DESIGN.md records the
+    substitution. *)
+
+val p : int64
+(** 2305843009213693951 = 2^61 − 1 (prime). *)
+
+val generator : int64
+(** A fixed multiplicative generator used for key generation. *)
+
+val add : int64 -> int64 -> int64
+val sub : int64 -> int64 -> int64
+val mul : int64 -> int64 -> int64
+val pow : int64 -> int64 -> int64
+(** [pow base e] with [e >= 0]. *)
+
+val inv : int64 -> int64
+(** Multiplicative inverse by Fermat; raises [Invalid_argument] on 0. *)
+
+val of_int64 : int64 -> int64
+(** Canonicalises an arbitrary int64 into [\[0, p)]. *)
+
+val random : Oasis_util.Rng.t -> int64
+(** Uniform in [\[1, p)]. *)

@@ -1,0 +1,47 @@
+type t = { kem : Elgamal.ciphertext; body : string; tag : Sha256.digest }
+
+(* Derives independent cipher and MAC keys from the KEM shared value and the
+   encapsulation (binding the keys to this particular exchange). *)
+let derive_keys shared (kem : Elgamal.ciphertext) =
+  let seed =
+    Printf.sprintf "sealed|%Ld|%Ld|%Ld" shared kem.Elgamal.c1 kem.Elgamal.c2
+  in
+  let base = Sha256.to_raw_string (Sha256.digest_string seed) in
+  (Hmac.derive_key ~key:base "cipher", Hmac.derive_key ~key:base "mac")
+
+(* HMAC keystream in 32-byte blocks, XORed over the payload. *)
+let keystream_xor ~key payload =
+  let n = String.length payload in
+  let out = Bytes.create n in
+  let block = ref 0 in
+  let offset = ref 0 in
+  while !offset < n do
+    let ks = Sha256.to_raw_string (Hmac.mac ~key (Printf.sprintf "block:%d" !block)) in
+    let take = min 32 (n - !offset) in
+    for i = 0 to take - 1 do
+      Bytes.set out (!offset + i)
+        (Char.chr (Char.code payload.[!offset + i] lxor Char.code ks.[i]))
+    done;
+    offset := !offset + take;
+    incr block
+  done;
+  Bytes.to_string out
+
+let mac_input (kem : Elgamal.ciphertext) body =
+  Printf.sprintf "%Ld|%Ld|%d|%s" kem.Elgamal.c1 kem.Elgamal.c2 (String.length body) body
+
+let seal rng public payload =
+  let shared = Modp.random rng in
+  let kem = Elgamal.encrypt rng public shared in
+  let cipher_key, mac_key = derive_keys shared kem in
+  let body = keystream_xor ~key:cipher_key payload in
+  { kem; body; tag = Hmac.mac ~key:mac_key (mac_input kem body) }
+
+let reveal private_key t =
+  let shared = Elgamal.decrypt private_key t.kem in
+  let cipher_key, mac_key = derive_keys shared t.kem in
+  if Hmac.verify ~key:mac_key (mac_input t.kem t.body) t.tag then
+    Some (keystream_xor ~key:cipher_key t.body)
+  else None
+
+let size_bytes t = 16 + String.length t.body + 32

@@ -1,0 +1,29 @@
+(** Hybrid public-key encryption of message payloads.
+
+    Sect. 4: "If any visibility of data and certificates 'on the wire' is
+    unacceptable to an application — which must be assumed to be the case
+    with cross-domain interworking — then encrypted communication must be
+    used. Data sent to a service can be encrypted with the service's public
+    key and the public key of the caller can be included for encrypting the
+    reply."
+
+    [seal] encrypts a payload to a recipient public key: an ElGamal KEM
+    establishes a fresh shared secret, an HMAC-derived keystream encrypts
+    the body, and an encrypt-then-MAC tag authenticates it. [reveal] returns
+    [None] for wrong keys or any tampering. Same toy field size caveat as
+    {!Elgamal} (DESIGN.md §3): genuine construction, demonstration
+    parameters. *)
+
+type t = {
+  kem : Elgamal.ciphertext;  (** encapsulated key *)
+  body : string;  (** payload under the derived keystream *)
+  tag : Sha256.digest;  (** MAC over the body and encapsulation *)
+}
+
+val seal : Oasis_util.Rng.t -> Elgamal.public -> string -> t
+
+val reveal : Elgamal.private_key -> t -> string option
+(** [None] if the key is wrong or the ciphertext was modified. *)
+
+val size_bytes : t -> int
+(** Wire size: encapsulation + body + tag. *)

@@ -1,0 +1,16 @@
+type t = string
+
+let generate rng = Bytes.to_string (Oasis_util.Rng.bytes rng 32)
+
+let of_string s = s
+
+let to_key s = s
+
+let rotate s ~epoch = Hmac.derive_key ~key:s (Printf.sprintf "epoch:%d" epoch)
+
+let equal a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0

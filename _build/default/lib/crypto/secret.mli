@@ -1,0 +1,25 @@
+(** Service secrets.
+
+    Each OASIS service holds a SECRET used as the key of the certificate
+    signature function (Fig. 4). Secrets are abstract so they cannot leak
+    into wire formats by accident; only {!to_key} exposes raw key material,
+    for use by signing code. *)
+
+type t
+
+val generate : Oasis_util.Rng.t -> t
+(** A fresh 32-byte secret. *)
+
+val of_string : string -> t
+(** Fixes a secret for deterministic tests. *)
+
+val to_key : t -> string
+(** Raw key material for the MAC; never embed this in messages. *)
+
+val rotate : t -> epoch:int -> t
+(** Derives the per-epoch secret; rotating the epoch invalidates previously
+    issued signatures, modelling re-issue of long-lived appointment
+    certificates "encrypted with a new server secret" (Sect. 4.1). *)
+
+val equal : t -> t -> bool
+(** Constant-time. *)

@@ -1,0 +1,36 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    No cryptographic package is available in the build environment, so the
+    hash underlying certificate signatures (Fig. 4) is provided here. The
+    implementation is the straightforward 32-bit reference algorithm —
+    adequate for a reproduction; not hardened against side channels. *)
+
+type digest
+(** A 32-byte digest. *)
+
+val digest_string : string -> digest
+val digest_bytes : bytes -> digest
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val feed_string : ctx -> string -> unit
+val feed_bytes : ctx -> bytes -> unit
+val finalize : ctx -> digest
+(** [finalize] consumes the context; feeding it afterwards raises
+    [Invalid_argument]. *)
+
+val to_raw_string : digest -> string
+(** The 32 raw bytes. *)
+
+val to_hex : digest -> string
+(** Lowercase hexadecimal, 64 characters. *)
+
+val of_raw_string : string -> digest option
+(** Re-wraps 32 raw bytes (e.g. parsed off the wire); [None] on wrong size. *)
+
+val equal : digest -> digest -> bool
+(** Constant-time comparison. *)
+
+val pp : Format.formatter -> digest -> unit

@@ -1,0 +1,1 @@
+lib/domain/anonymity.mli: Civ Oasis_cert Oasis_core Oasis_policy Oasis_util

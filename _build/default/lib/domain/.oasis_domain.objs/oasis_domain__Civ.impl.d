@@ -1,0 +1,1 @@
+lib/domain/civ.ml: Array Oasis_cert Oasis_core Oasis_crypto Oasis_event Oasis_sim Oasis_trust Oasis_util Printf

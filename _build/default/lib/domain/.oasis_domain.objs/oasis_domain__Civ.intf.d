@@ -1,0 +1,1 @@
+lib/domain/civ.mli: Oasis_cert Oasis_core Oasis_trust Oasis_util

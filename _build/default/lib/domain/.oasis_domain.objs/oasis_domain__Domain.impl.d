@@ -1,0 +1,1 @@
+lib/domain/domain.ml: Civ List Oasis_core Oasis_policy Oasis_sim

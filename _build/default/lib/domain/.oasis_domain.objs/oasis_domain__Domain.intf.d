@@ -1,0 +1,1 @@
+lib/domain/domain.mli: Civ Oasis_core Oasis_policy

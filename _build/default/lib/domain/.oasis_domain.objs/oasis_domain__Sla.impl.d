@@ -1,0 +1,1 @@
+lib/domain/sla.ml: Format List Oasis_core Oasis_policy Printf String

@@ -1,0 +1,1 @@
+lib/domain/sla.mli: Format Oasis_core Oasis_policy

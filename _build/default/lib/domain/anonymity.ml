@@ -1,0 +1,34 @@
+module Value = Oasis_util.Value
+module Term = Oasis_policy.Term
+module Rule = Oasis_policy.Rule
+module Principal = Oasis_core.Principal
+module Protocol = Oasis_core.Protocol
+
+type membership = {
+  certificate : Oasis_cert.Appointment.t;
+  alias : Oasis_util.Ident.t;
+  expires_at : float;
+}
+
+let enroll ~civ ~member ~scheme ~expires_at =
+  let alias, pseudonym_key = Principal.fresh_pseudonym member in
+  let certificate =
+    Civ.issue civ ~kind:scheme
+      ~args:[ Value.Time expires_at ]
+      ~holder:alias ~holder_key:pseudonym_key ~expires_at ()
+  in
+  Principal.grant_appointment member certificate;
+  { certificate; alias; expires_at }
+
+let member_role_rule ~scheme ~civ_name ~role =
+  Rule.activation ~initial:true ~role
+    ~params:[ Term.Var "exp" ]
+    [
+      (true, Rule.Appointment { service = Some civ_name; name = scheme; args = [ Term.Var "exp" ] });
+      (false, Rule.Constraint ("before", [ Term.Var "exp" ]));
+    ]
+
+let activate_anonymously principal session clinic ~role membership =
+  Principal.activate_with principal session clinic ~role ~alias:membership.alias
+    ~creds:{ Protocol.rmcs = []; appointments = [ membership.certificate ] }
+    ()

@@ -1,0 +1,38 @@
+(** Anonymous service use (Sect. 5, "Anonymity").
+
+    The paper's scenario: a medical-insurance member may take genetic tests
+    anonymously. The insurance company's CIV issues a membership card — an
+    appointment certificate carrying the scheme name and expiry but {e no
+    personal details} — bound to a pseudonym key created by the member. The
+    clinic's activation rule accepts the certificate (validated by callback
+    to the issuing CIV, a trusted third party) plus an environmental
+    constraint that the test date precedes the expiry; the clinic never
+    learns who the member is, and the insurer never learns a test took
+    place. *)
+
+type membership = {
+  certificate : Oasis_cert.Appointment.t;
+  alias : Oasis_util.Ident.t;  (** pseudonymous principal id to present *)
+  expires_at : float;
+}
+
+val enroll :
+  civ:Civ.t -> member:Oasis_core.Principal.t -> scheme:string -> expires_at:float -> membership
+(** Issues the anonymous membership certificate: kind [scheme], args
+    [[Time expires_at]], holder a fresh pseudonym key of [member]. The
+    certificate lands in the member's wallet. *)
+
+val member_role_rule : scheme:string -> civ_name:string -> role:string -> Oasis_policy.Rule.activation
+(** The clinic-side activation rule:
+    [initial role(exp) <- *appt:scheme(exp)@civ, env:before(exp)]. *)
+
+val activate_anonymously :
+  Oasis_core.Principal.t ->
+  Oasis_core.Principal.session ->
+  Oasis_core.Service.t ->
+  role:string ->
+  membership ->
+  (Oasis_cert.Rmc.t, Oasis_core.Protocol.denial) result
+(** Activates [role] at the clinic under the membership's alias, presenting
+    only the membership certificate (not the rest of the wallet, which could
+    deanonymise). Must run inside a simulated process. *)

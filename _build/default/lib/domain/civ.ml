@@ -1,0 +1,309 @@
+module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
+module Engine = Oasis_sim.Engine
+module Network = Oasis_sim.Network
+module Broker = Oasis_event.Broker
+module Heartbeat = Oasis_event.Heartbeat
+module Appointment = Oasis_cert.Appointment
+module Cr = Oasis_cert.Credential_record
+module Secret = Oasis_crypto.Secret
+module World = Oasis_core.World
+module Protocol = Oasis_core.Protocol
+
+exception Primary_unavailable
+
+type replication = Async | Sync
+
+type replica = {
+  node : Ident.t;
+  index : int;
+  (* Replica 0 (the primary) reads the authoritative store; others read
+     this replicated validity table. *)
+  validity : bool Ident.Tbl.t;
+  mutable served : int;
+}
+
+type t = {
+  world : World.t;
+  cname : string;
+  router : Ident.t;
+  mode : replication;
+  audit : Oasis_trust.Registrar.t;
+  secret : Secret.t;
+  mutable epoch : int;
+  crs : Cr.store;
+  replicas : replica array;
+  beats : Heartbeat.emitter Ident.Tbl.t;
+  mutable rr : int;
+  mutable forwarded : int;
+  mutable issues : int;
+  mutable revocations : int;
+  mutable failovers : int;
+  mutable exhausted : int;
+}
+
+let id t = t.router
+
+let replication t = t.mode
+let civ_name t = t.cname
+let replica_count t = Array.length t.replicas
+let current_epoch t = t.epoch
+
+let repl_topic t = Printf.sprintf "civ-repl:%s" (Ident.to_string t.router)
+
+let primary t = t.replicas.(0)
+
+let primary_down t = Network.is_down (World.network t.world) (primary t).node
+
+(* ------------------------------------------------------------------ *)
+(* Validation, replica side                                           *)
+(* ------------------------------------------------------------------ *)
+
+let signature_ok t appt =
+  Appointment.verify ~master_secret:t.secret ~current_epoch:t.epoch
+    ~now:(World.now t.world) appt
+
+let primary_view t cert_id =
+  match Cr.find t.crs cert_id with Some record -> Cr.is_valid record | None -> false
+
+let replica_validate t replica (appt : Appointment.t) =
+  replica.served <- replica.served + 1;
+  signature_ok t appt
+  &&
+  if replica.index = 0 then primary_view t appt.id
+  else
+    match Ident.Tbl.find_opt replica.validity appt.id with
+    | Some valid -> valid
+    | None -> (
+        (* Not replicated yet: ask the primary rather than deny a freshly
+           issued certificate. *)
+        t.forwarded <- t.forwarded + 1;
+        match
+          Network.rpc (World.network t.world) ~src:replica.node ~dst:(primary t).node
+            (Protocol.Validate_appt { appt })
+        with
+        | Protocol.Validate_result ok -> ok
+        | _ -> false
+        | exception Network.Rpc_dropped -> false)
+
+let replica_handler t replica =
+  {
+    Network.on_oneway = (fun ~src:_ _ -> ());
+    on_rpc =
+      (fun ~src:_ msg ->
+        match msg with
+        | Protocol.Validate_appt { appt } ->
+            Protocol.Validate_result
+              (Ident.equal appt.Appointment.issuer t.router && replica_validate t replica appt)
+        | Protocol.Validate_rmc _ ->
+            (* A CIV issues appointment certificates only. *)
+            Protocol.Validate_result false
+        | _ -> Protocol.Denied (Protocol.Bad_request "CIV replicas only validate"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Router: round-robin with failover                                  *)
+(* ------------------------------------------------------------------ *)
+
+let route t msg =
+  let n = Array.length t.replicas in
+  let start = t.rr in
+  t.rr <- (t.rr + 1) mod n;
+  let rec try_from attempt =
+    if attempt >= n then begin
+      t.exhausted <- t.exhausted + 1;
+      Protocol.Validate_result false
+    end
+    else
+      let replica = t.replicas.((start + attempt) mod n) in
+      match Network.rpc (World.network t.world) ~src:t.router ~dst:replica.node msg with
+      | reply -> reply
+      | exception Network.Rpc_dropped ->
+          t.failovers <- t.failovers + 1;
+          try_from (attempt + 1)
+  in
+  try_from 0
+
+let router_handler t =
+  {
+    Network.on_oneway = (fun ~src:_ _ -> ());
+    on_rpc =
+      (fun ~src:_ msg ->
+        match msg with
+        | Protocol.Validate_appt _ | Protocol.Validate_rmc _ -> route t msg
+        | _ -> Protocol.Denied (Protocol.Bad_request "CIV router only validates"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let create world ~name ?(replicas = 3) ?(replication = Async) () =
+  if replicas < 1 then invalid_arg "Civ.create: need at least one replica";
+  let router = World.fresh_service_id world in
+  let t =
+    {
+      world;
+      cname = name;
+      router;
+      mode = replication;
+      audit = Oasis_trust.Registrar.create (Oasis_util.Rng.split (World.rng world)) ~name ();
+      secret = Secret.generate (World.rng world);
+      epoch = 0;
+      crs = Cr.create_store ();
+      replicas =
+        Array.init replicas (fun index ->
+            {
+              node = World.fresh_service_id world;
+              index;
+              validity = Ident.Tbl.create 64;
+              served = 0;
+            });
+      beats = Ident.Tbl.create 16;
+      rr = 0;
+      forwarded = 0;
+      issues = 0;
+      revocations = 0;
+      failovers = 0;
+      exhausted = 0;
+    }
+  in
+  World.register_service world ~name router;
+  Network.add_node (World.network world) router (router_handler t);
+  Array.iter
+    (fun replica ->
+      Network.add_node (World.network world) replica.node (replica_handler t replica);
+      if replica.index > 0 then
+        ignore
+          (Broker.subscribe (World.broker world) (repl_topic t) ~owner:replica.node
+             (fun _topic event ->
+               match event with
+               | Protocol.Replicated { cert_id; valid; _ } ->
+                   Ident.Tbl.replace replica.validity cert_id valid
+               | Protocol.Invalidated _ | Protocol.Beat _ -> ())))
+    t.replicas;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Issuing and revocation (primary)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let replicate t cert_id valid =
+  match t.mode with
+  | Async ->
+      Broker.publish (World.broker t.world) (repl_topic t)
+        (Protocol.Replicated { issuer = t.router; cert_id; valid })
+  | Sync ->
+      (* The primary blocks until every replica holds the update; modelled
+         as immediate installation. *)
+      Array.iter
+        (fun replica ->
+          if replica.index > 0 then Ident.Tbl.replace replica.validity cert_id valid)
+        t.replicas
+
+let revoke t cert_id ~reason =
+  if primary_down t then false
+  else
+    match Cr.revoke t.crs cert_id ~at:(World.now t.world) ~reason with
+    | None -> false
+    | Some record ->
+        t.revocations <- t.revocations + 1;
+        (match Ident.Tbl.find_opt t.beats cert_id with
+        | Some emitter ->
+            Heartbeat.stop_emitter emitter;
+            Ident.Tbl.remove t.beats cert_id
+        | None -> ());
+        Broker.publish (World.broker t.world) (Cr.topic record)
+          (Protocol.Invalidated { issuer = t.router; cert_id; reason });
+        replicate t cert_id false;
+        true
+
+let issue t ~kind ~args ~holder ~holder_key ?expires_at () =
+  if primary_down t then raise Primary_unavailable;
+  let cert_id = World.fresh_cert_id t.world in
+  let now = World.now t.world in
+  let appt =
+    Appointment.issue ~master_secret:t.secret ~epoch:t.epoch ~id:cert_id ~issuer:t.router ~kind
+      ~args ~holder:holder_key ~issued_at:now ?expires_at ()
+  in
+  let record =
+    Cr.add t.crs ~cert_id ~issuer:t.router ~kind:Cr.Kind_appointment ~principal:holder ~name:kind
+      ~args ~issued_at:now
+  in
+  t.issues <- t.issues + 1;
+  (match World.monitoring t.world with
+  | World.Change_events -> ()
+  | World.Heartbeats { period; _ } ->
+      Ident.Tbl.replace t.beats cert_id
+        (Heartbeat.start_emitter (World.broker t.world) (World.engine t.world)
+           ~topic:(Cr.topic record) ~period
+           ~beat:(Protocol.Beat { issuer = t.router; cert_id })));
+  replicate t cert_id true;
+  (match expires_at with
+  | Some at when at > now ->
+      ignore
+        (Engine.schedule_at (World.engine t.world) ~at (fun () ->
+             ignore (revoke t cert_id ~reason:"expired")))
+  | Some _ | None -> ());
+  appt
+
+let reissue t (old : Appointment.t) =
+  if primary_down t then raise Primary_unavailable;
+  if not (Ident.equal old.Appointment.issuer t.router) then Error "not our certificate"
+  else if
+    not
+      (Appointment.verify_ignoring_epoch ~master_secret:t.secret ~now:(World.now t.world) old)
+  then Error "signature or expiry check failed"
+  else if not (primary_view t old.Appointment.id) then Error "credential record revoked"
+  else begin
+    let principal =
+      match Cr.find t.crs old.Appointment.id with
+      | Some record -> record.Cr.principal
+      | None -> assert false (* primary_view verified it exists *)
+    in
+    ignore (revoke t old.Appointment.id ~reason:"superseded");
+    Ok
+      (issue t ~kind:old.Appointment.kind ~args:old.Appointment.args ~holder:principal
+         ~holder_key:old.Appointment.holder ?expires_at:old.Appointment.expires_at ())
+  end
+
+let rotate_secret t = t.epoch <- t.epoch + 1
+
+let registrar t = t.audit
+
+let record_interaction t ~client ~server ~client_outcome ~server_outcome =
+  if primary_down t then raise Primary_unavailable;
+  Oasis_trust.Registrar.record_interaction t.audit ~client ~server ~at:(World.now t.world)
+    ~client_outcome ~server_outcome
+
+let validate_audit t cert = Oasis_trust.Registrar.validate t.audit cert
+
+let is_valid t cert_id = primary_view t cert_id
+
+let replica_view t i cert_id =
+  if i = 0 then primary_view t cert_id
+  else
+    match Ident.Tbl.find_opt t.replicas.(i).validity cert_id with
+    | Some valid -> valid
+    | None -> false
+
+let set_replica_down t i down = Network.set_down (World.network t.world) t.replicas.(i).node down
+
+type stats = {
+  validations_served : int array;
+  forwarded_to_primary : int;
+  issues : int;
+  revocations : int;
+  failovers : int;
+  exhausted : int;
+}
+
+let stats t =
+  {
+    validations_served = Array.map (fun r -> r.served) t.replicas;
+    forwarded_to_primary = t.forwarded;
+    issues = t.issues;
+    revocations = t.revocations;
+    failovers = t.failovers;
+    exhausted = t.exhausted;
+  }

@@ -1,0 +1,118 @@
+(** Certificate issuing and validation (CIV) service, replicated.
+
+    "It is likely that certificates will not be issued and validated by each
+    individual service ... Rather, a domain will contain one highly available
+    service to carry out the functions of certificate issuing and validation
+    [with] replication for availability together with consistency
+    management" (Sect. 4, citing ref [10]; Sect. 6 extends CIV services to
+    audit certificates).
+
+    The cluster is a router plus [replicas] replica nodes. The router is the
+    stable identifier bound into certificates as issuer (an anycast /
+    load-balancer address); it forwards validation callbacks round-robin to
+    live replicas and fails over when one is down. Replica 0 is the primary:
+    issuance and revocation execute there and reach the other replicas
+    through replication events on the event middleware, so replicas serve
+    validations from (boundedly stale) local state — real primary–backup
+    semantics, measurable replication lag included. *)
+
+type t
+
+(** Consistency management for the replicas (ref [10]):
+    - [Async]: writes return immediately; replicas learn through replication
+      events on the middleware (bounded staleness, reads may need a primary
+      fallback);
+    - [Sync]: the primary installs the update at every replica before the
+      write returns (no staleness; writes bear the replication cost). *)
+type replication = Async | Sync
+
+val create :
+  Oasis_core.World.t -> name:string -> ?replicas:int -> ?replication:replication -> unit -> t
+(** Default 3 replicas, [Async] replication. The cluster registers its
+    router under [name] in the world's service registry, so policy rules can
+    say [appt:kind(…)@name]. *)
+
+val replication : t -> replication
+
+val id : t -> Oasis_util.Ident.t
+(** The router identifier: use as certificate issuer. *)
+
+val civ_name : t -> string
+val replica_count : t -> int
+
+(** {1 Issuing (administrative API, executes at the primary)} *)
+
+exception Primary_unavailable
+
+val issue :
+  t ->
+  kind:string ->
+  args:Oasis_util.Value.t list ->
+  holder:Oasis_util.Ident.t ->
+  holder_key:string ->
+  ?expires_at:float ->
+  unit ->
+  Oasis_cert.Appointment.t
+(** Issues an appointment certificate (e.g. [employed_as_doctor(hospital)]).
+    Raises {!Primary_unavailable} if the primary replica is down — a
+    primary–backup cluster keeps reads available but not writes. *)
+
+val reissue : t -> Oasis_cert.Appointment.t -> (Oasis_cert.Appointment.t, string) result
+(** Re-issues a certificate under the current epoch secret — Sect. 4.1:
+    "it is likely that appointment certificates would be re-issued,
+    encrypted with a new server secret, from time to time". The old
+    certificate must carry a genuine signature from some epoch and a
+    still-valid credential record; its record is revoked (reason
+    ["superseded"]) and a fresh certificate with the same content is
+    issued. Raises {!Primary_unavailable} when the primary is down. *)
+
+val revoke : t -> Oasis_util.Ident.t -> reason:string -> bool
+(** Revokes at the primary; the invalidation reaches dependent roles via the
+    certificate's event channel and the replicas via replication events. *)
+
+val rotate_secret : t -> unit
+val current_epoch : t -> int
+
+val is_valid : t -> Oasis_util.Ident.t -> bool
+(** Primary's authoritative view. *)
+
+val replica_view : t -> int -> Oasis_util.Ident.t -> bool
+(** [replica_view t i cert] — replica [i]'s possibly stale view; exposed so
+    tests and benches can observe replication lag. *)
+
+(** {1 Audit certificates (Sect. 6)}
+
+    "If a certificate issuing and validation (CIV) service already exists in
+    a domain its function might be extended to generate such a certificate."
+    The cluster embeds an audit registrar; interactions witnessed in this
+    domain are recorded and validated here. *)
+
+val registrar : t -> Oasis_trust.Registrar.t
+
+val record_interaction :
+  t ->
+  client:Oasis_util.Ident.t ->
+  server:Oasis_util.Ident.t ->
+  client_outcome:Oasis_trust.Audit.outcome ->
+  server_outcome:Oasis_trust.Audit.outcome ->
+  Oasis_trust.Audit.t
+(** Issues the audit certificate for an interaction completed now (virtual
+    time), at the primary. Raises {!Primary_unavailable} when it is down. *)
+
+val validate_audit : t -> Oasis_trust.Audit.t -> bool
+
+(** {1 Failure injection} *)
+
+val set_replica_down : t -> int -> bool -> unit
+(** Replica 0 is the primary. *)
+
+type stats = {
+  validations_served : int array;  (** per replica *)
+  forwarded_to_primary : int;  (** replica-miss fallbacks *)
+  issues : int;
+  revocations : int;
+  failovers : int;  (** router retries past a dead replica *)
+  exhausted : int;  (** validations failed: no live replica *)
+}
+
+val stats : t -> stats

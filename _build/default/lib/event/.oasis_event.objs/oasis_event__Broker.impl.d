@@ -1,0 +1,1 @@
+lib/event/broker.ml: Hashtbl List Oasis_sim Oasis_util

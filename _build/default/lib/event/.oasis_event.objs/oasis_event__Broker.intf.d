@@ -1,0 +1,1 @@
+lib/event/broker.mli: Oasis_sim Oasis_util

@@ -1,0 +1,1 @@
+lib/event/heartbeat.ml: Broker Float Oasis_sim Oasis_util

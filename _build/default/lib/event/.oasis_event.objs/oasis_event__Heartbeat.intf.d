@@ -1,0 +1,1 @@
+lib/event/heartbeat.mli: Broker Oasis_sim

@@ -1,0 +1,91 @@
+module Engine = Oasis_sim.Engine
+module Rng = Oasis_util.Rng
+module Ident = Oasis_util.Ident
+
+type topic = string
+
+type 'a sub = {
+  id : int;
+  sub_topic : topic;
+  owner : Ident.t;
+  callback : topic -> 'a -> unit;
+  mutable active : bool;
+}
+
+type subscription = { unsub : unit -> unit }
+
+type stats = { published : int; notified : int }
+
+type 'a t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  latency : float;
+  jitter : float;
+  subs : (topic, 'a sub list ref) Hashtbl.t;
+  mutable next_id : int;
+  mutable published : int;
+  mutable notified : int;
+}
+
+let create engine rng ~notify_latency ?(jitter = 0.0) () =
+  {
+    engine;
+    rng;
+    latency = notify_latency;
+    jitter;
+    subs = Hashtbl.create 64;
+    next_id = 0;
+    published = 0;
+    notified = 0;
+  }
+
+let bucket t topic =
+  match Hashtbl.find_opt t.subs topic with
+  | Some b -> b
+  | None ->
+      let b = ref [] in
+      Hashtbl.replace t.subs topic b;
+      b
+
+let subscribe t topic ~owner callback =
+  let sub = { id = t.next_id; sub_topic = topic; owner; callback; active = true } in
+  t.next_id <- t.next_id + 1;
+  let b = bucket t topic in
+  b := sub :: !b;
+  {
+    unsub =
+      (fun () ->
+        sub.active <- false;
+        b := List.filter (fun s -> s.id <> sub.id) !b);
+  }
+
+let unsubscribe _t subscription = subscription.unsub ()
+
+let delay t = t.latency +. (if t.jitter > 0.0 then Rng.float t.rng t.jitter else 0.0)
+
+let publish t topic payload =
+  t.published <- t.published + 1;
+  match Hashtbl.find_opt t.subs topic with
+  | None -> ()
+  | Some b ->
+      (* Snapshot in subscription order; a subscriber added after this
+         publish must not see it. *)
+      let snapshot = List.rev !b in
+      List.iter
+        (fun sub ->
+          ignore
+            (Engine.schedule t.engine ~after:(delay t) (fun () ->
+                 if sub.active then begin
+                   t.notified <- t.notified + 1;
+                   sub.callback sub.sub_topic payload
+                 end)))
+        snapshot
+
+let subscriber_count t topic =
+  match Hashtbl.find_opt t.subs topic with None -> 0 | Some b -> List.length !b
+
+let stats t = { published = t.published; notified = t.notified }
+
+let reset_stats t =
+  t.published <- 0;
+  t.notified <- 0

@@ -1,0 +1,63 @@
+module Engine = Oasis_sim.Engine
+
+type emitter = { mutable running : bool; mutable beats : int }
+
+let start_emitter broker engine ~topic ~period ~beat =
+  let emitter = { running = true; beats = 0 } in
+  Engine.every engine ~period (fun () ->
+      if emitter.running then begin
+        emitter.beats <- emitter.beats + 1;
+        Broker.publish broker topic beat
+      end;
+      emitter.running);
+  emitter
+
+let stop_emitter emitter = emitter.running <- false
+
+let beats_emitted emitter = emitter.beats
+
+type monitor = {
+  mutable alive : bool;
+  mutable miss_fired : bool;
+  mutable last_beat : float;
+  mutable unsub : unit -> unit;
+}
+
+let watch ?(accept = fun _ -> true) broker engine ~topic ~deadline ~on_miss =
+  if deadline <= 0.0 then invalid_arg "Heartbeat.watch: deadline must be positive";
+  let owner = Oasis_util.Ident.make "hb-monitor" 0 in
+  let m = { alive = true; miss_fired = false; last_beat = Engine.now engine; unsub = (fun () -> ()) } in
+  let subscription =
+    Broker.subscribe broker topic ~owner (fun _topic beat ->
+        if m.alive && accept beat then m.last_beat <- Engine.now engine)
+  in
+  m.unsub <- (fun () -> Broker.unsubscribe broker subscription);
+  (* Re-arm a timer for the earliest instant a miss could be declared. The
+     miss test compares last_beat against the snapshot taken when arming —
+     never a float subtraction against the deadline, which can disagree with
+     the scheduled instant by an ulp and loop at a fixed virtual time. *)
+  let rec arm () =
+    let snapshot = m.last_beat in
+    let fire_at = Float.max (snapshot +. deadline) (Engine.now engine) in
+    ignore
+      (Engine.schedule_at engine ~at:fire_at (fun () ->
+           if m.alive then
+             if m.last_beat = snapshot then begin
+               (* No beat since arming: the deadline has truly lapsed. *)
+               m.alive <- false;
+               m.miss_fired <- true;
+               m.unsub ();
+               on_miss ()
+             end
+             else arm ()))
+  in
+  arm ();
+  m
+
+let cancel_watch m =
+  if m.alive then begin
+    m.alive <- false;
+    m.unsub ()
+  end
+
+let missed m = m.miss_fired

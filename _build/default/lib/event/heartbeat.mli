@@ -1,0 +1,41 @@
+(** Heartbeat emitters and liveness monitors.
+
+    Fig. 5 labels its event channels "heartbeats or change events": instead
+    of (or in addition to) explicit invalidation events, an issuing service
+    may emit periodic beats asserting a credential record is still valid, and
+    a dependent service treats a missed beat as revocation. This module
+    provides both halves, so the E5 ablation can compare the two monitoring
+    disciplines (DESIGN.md §6). *)
+
+type emitter
+
+val start_emitter :
+  'a Broker.t -> Oasis_sim.Engine.t -> topic:Broker.topic -> period:float -> beat:'a -> emitter
+(** Publishes [beat] on [topic] every [period] until {!stop_emitter}. The
+    first beat fires one period after the start. *)
+
+val stop_emitter : emitter -> unit
+(** Stopping models the issuer withdrawing the credential: beats cease and
+    monitors fire after their deadline. Idempotent. *)
+
+val beats_emitted : emitter -> int
+
+type monitor
+
+val watch :
+  ?accept:('a -> bool) ->
+  'a Broker.t ->
+  Oasis_sim.Engine.t ->
+  topic:Broker.topic ->
+  deadline:float ->
+  on_miss:(unit -> unit) ->
+  monitor
+(** Calls [on_miss] once if no beat arrives on [topic] for [deadline]
+    virtual seconds (measured from the start of the watch, then from each
+    beat). After a miss the monitor stops. [accept] filters which payloads
+    count as beats (default: all) — channels may carry other event kinds. *)
+
+val cancel_watch : monitor -> unit
+(** Stops the monitor without firing [on_miss]. Idempotent. *)
+
+val missed : monitor -> bool

@@ -1,0 +1,1 @@
+lib/policy/analysis.ml: Format Hashtbl List Map Option Parser Rule Set String

@@ -1,0 +1,1 @@
+lib/policy/analysis.mli: Format Parser Rule

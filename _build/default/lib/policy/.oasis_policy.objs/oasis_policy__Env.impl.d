@@ -1,0 +1,1 @@
+lib/policy/env.ml: Float Hashtbl List Oasis_util Printf Set String

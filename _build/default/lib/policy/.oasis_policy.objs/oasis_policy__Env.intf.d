@@ -1,0 +1,1 @@
+lib/policy/env.mli: Oasis_util

@@ -1,0 +1,1 @@
+lib/policy/parser.ml: Format List Oasis_util Printf Rule String Term

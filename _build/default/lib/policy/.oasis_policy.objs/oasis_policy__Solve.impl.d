@@ -1,0 +1,1 @@
+lib/policy/solve.ml: Format List Oasis_util Option Rule Term

@@ -1,0 +1,1 @@
+lib/policy/solve.mli: Format Oasis_util Rule Term

@@ -1,0 +1,1 @@
+lib/policy/term.ml: Format Hashtbl List Map Oasis_util String

@@ -1,0 +1,1 @@
+lib/policy/term.mli: Format Oasis_util

@@ -1,0 +1,241 @@
+type service_policy = {
+  sp_name : string;
+  activations : Rule.activation list;
+  authorizations : Rule.authorization list;
+  appointment_kinds : string list;
+}
+
+type world_policy = service_policy list
+
+type unresolved =
+  | Unknown_service of { at : string; rule : string; service : string }
+  | Unknown_role of { at : string; rule : string; service : string; role : string }
+  | Unknown_appointment of { at : string; rule : string; issuer : string; kind : string }
+
+let pp_unresolved ppf = function
+  | Unknown_service { at; rule; service } ->
+      Format.fprintf ppf "%s: rule %s references unknown service %s" at rule service
+  | Unknown_role { at; rule; service; role } ->
+      Format.fprintf ppf "%s: rule %s references undefined role %s@%s" at rule role service
+  | Unknown_appointment { at; rule; issuer; kind } ->
+      Format.fprintf ppf "%s: rule %s references appointment kind %s that %s does not issue" at
+        rule kind issuer
+
+type report = {
+  reachable_roles : (string * string) list;
+  dead_roles : (string * string) list;
+  grantable_privileges : (string * string) list;
+  dead_privileges : (string * string) list;
+  prereq_cycles : (string * string) list list;
+  unresolved : unresolved list;
+}
+
+module Node = struct
+  type t = string * string
+
+  let compare = compare
+end
+
+module Node_set = Set.Make (Node)
+module Node_map = Map.Make (Node)
+
+let of_statements ~name ?(appointment_kinds = []) statements =
+  {
+    sp_name = name;
+    activations = Parser.activations statements;
+    authorizations = Parser.authorizations statements;
+    appointment_kinds =
+      List.sort_uniq compare
+        (appointment_kinds
+        @ List.map (fun (a : Rule.authorization) -> a.privilege) (Parser.appointers statements));
+  }
+
+let analyse ?held_appointments world =
+  let service_of name = List.find_opt (fun sp -> String.equal sp.sp_name name) world in
+  let held =
+    match held_appointments with
+    | Some held -> held
+    | None ->
+        List.concat_map (fun sp -> List.map (fun kind -> (sp.sp_name, kind)) sp.appointment_kinds) world
+  in
+  let defines_role sp role =
+    List.exists (fun (a : Rule.activation) -> String.equal a.role role) sp.activations
+  in
+  (* Collect unresolved references once, independent of reachability. *)
+  let unresolved = ref [] in
+  let note u = if not (List.mem u !unresolved) then unresolved := u :: !unresolved in
+  let resolve_ref ~at ~rule (r : Rule.cred_ref) ~kind_ref =
+    let target = match r.service with None -> at | Some s -> s in
+    match service_of target with
+    | None ->
+        note (Unknown_service { at; rule; service = target });
+        None
+    | Some sp ->
+        if kind_ref then begin
+          if not (List.mem r.name sp.appointment_kinds) then
+            note (Unknown_appointment { at; rule; issuer = target; kind = r.name });
+          Some sp
+        end
+        else begin
+          if not (defines_role sp r.name) then
+            note (Unknown_role { at; rule; service = target; role = r.name });
+          Some sp
+        end
+  in
+  List.iter
+    (fun sp ->
+      List.iter
+        (fun (a : Rule.activation) ->
+          List.iter
+            (function
+              | Rule.Prereq r -> ignore (resolve_ref ~at:sp.sp_name ~rule:a.role r ~kind_ref:false)
+              | Rule.Appointment r ->
+                  ignore (resolve_ref ~at:sp.sp_name ~rule:a.role r ~kind_ref:true)
+              | Rule.Constraint _ -> ())
+            a.conditions)
+        sp.activations;
+      List.iter
+        (fun (auth : Rule.authorization) ->
+          List.iter
+            (fun r -> ignore (resolve_ref ~at:sp.sp_name ~rule:("priv " ^ auth.privilege) r ~kind_ref:false))
+            auth.required_roles)
+        sp.authorizations)
+    world;
+  (* Reachability fixpoint over (service, role). Constraints are assumed
+     satisfiable; appointments must be held; prerequisites must already be
+     reachable. *)
+  let condition_ok reachable ~at = function
+    | Rule.Constraint _ -> true
+    | Rule.Appointment r ->
+        let issuer = match r.service with None -> at | Some s -> s in
+        List.mem (issuer, r.name) held
+        && (match service_of issuer with
+           | Some sp -> List.mem r.name sp.appointment_kinds
+           | None -> false)
+    | Rule.Prereq r ->
+        let target = match r.service with None -> at | Some s -> s in
+        Node_set.mem (target, r.name) reachable
+  in
+  let step reachable =
+    List.fold_left
+      (fun acc sp ->
+        List.fold_left
+          (fun acc (a : Rule.activation) ->
+            if Node_set.mem (sp.sp_name, a.role) acc then acc
+            else if List.for_all (condition_ok acc ~at:sp.sp_name) a.conditions then
+              Node_set.add (sp.sp_name, a.role) acc
+            else acc)
+          acc sp.activations)
+      reachable world
+  in
+  let rec fixpoint reachable =
+    let next = step reachable in
+    if Node_set.equal next reachable then reachable else fixpoint next
+  in
+  let reachable = fixpoint Node_set.empty in
+  let all_roles =
+    List.concat_map
+      (fun sp ->
+        List.sort_uniq compare (List.map (fun (a : Rule.activation) -> (sp.sp_name, a.role)) sp.activations))
+      world
+    |> List.sort_uniq compare
+  in
+  let dead_roles = List.filter (fun node -> not (Node_set.mem node reachable)) all_roles in
+  (* Privileges. *)
+  let priv_ok (sp : service_policy) (auth : Rule.authorization) =
+    List.for_all
+      (fun (r : Rule.cred_ref) ->
+        let target = match r.service with None -> sp.sp_name | Some s -> s in
+        Node_set.mem (target, r.name) reachable)
+      auth.required_roles
+  in
+  let all_privs =
+    List.concat_map
+      (fun sp -> List.map (fun (auth : Rule.authorization) -> (sp, auth)) sp.authorizations)
+      world
+  in
+  let grantable, dead =
+    List.partition (fun (sp, auth) -> priv_ok sp auth) all_privs
+  in
+  let priv_names l =
+    List.map (fun (sp, (auth : Rule.authorization)) -> (sp.sp_name, auth.privilege)) l
+    |> List.sort_uniq compare
+  in
+  (* Prerequisite graph cycles (Kosaraju-style SCC on the small graph). *)
+  let edges =
+    List.concat_map
+      (fun sp ->
+        List.concat_map
+          (fun (a : Rule.activation) ->
+            List.filter_map
+              (function
+                | Rule.Prereq r ->
+                    let target = match r.service with None -> sp.sp_name | Some s -> s in
+                    Some ((sp.sp_name, a.role), (target, r.name))
+                | Rule.Appointment _ | Rule.Constraint _ -> None)
+              a.conditions)
+          sp.activations)
+      world
+  in
+  let succs node = List.filter_map (fun (a, b) -> if a = node then Some b else None) edges in
+  let preds node = List.filter_map (fun (a, b) -> if b = node then Some a else None) edges in
+  let nodes = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  let order = ref [] in
+  let visited = ref Node_set.empty in
+  let rec dfs1 node =
+    if not (Node_set.mem node !visited) then begin
+      visited := Node_set.add node !visited;
+      List.iter dfs1 (succs node);
+      order := node :: !order
+    end
+  in
+  List.iter dfs1 nodes;
+  let component = ref Node_map.empty in
+  let rec dfs2 node id =
+    if not (Node_map.mem node !component) then begin
+      component := Node_map.add node id !component;
+      List.iter (fun p -> dfs2 p id) (preds node)
+    end
+  in
+  List.iteri (fun i node -> dfs2 node i) !order;
+  let by_component = Hashtbl.create 8 in
+  Node_map.iter
+    (fun node id ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_component id) in
+      Hashtbl.replace by_component id (node :: cur))
+    !component;
+  let prereq_cycles =
+    Hashtbl.fold
+      (fun _ members acc ->
+        match members with
+        | [ only ] -> if List.mem (only, only) edges then [ only ] :: acc else acc
+        | _ :: _ :: _ -> List.sort compare members :: acc
+        | [] -> acc)
+      by_component []
+    |> List.sort compare
+  in
+  {
+    reachable_roles = List.sort compare (Node_set.elements reachable);
+    dead_roles;
+    grantable_privileges = priv_names grantable;
+    dead_privileges = priv_names dead;
+    prereq_cycles;
+    unresolved = List.rev !unresolved;
+  }
+
+let pp_pair ppf (service, name) = Format.fprintf ppf "%s@%s" name service
+
+let pp_report ppf r =
+  let plist ppf l =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_pair ppf l
+  in
+  Format.fprintf ppf "@[<v>reachable roles: @[%a@]@," plist r.reachable_roles;
+  if r.dead_roles <> [] then Format.fprintf ppf "DEAD roles: @[%a@]@," plist r.dead_roles;
+  Format.fprintf ppf "grantable privileges: @[%a@]@," plist r.grantable_privileges;
+  if r.dead_privileges <> [] then
+    Format.fprintf ppf "DEAD privileges: @[%a@]@," plist r.dead_privileges;
+  List.iter
+    (fun cycle -> Format.fprintf ppf "prerequisite cycle: @[%a@]@," plist cycle)
+    r.prereq_cycles;
+  List.iter (fun u -> Format.fprintf ppf "unresolved: %a@," pp_unresolved u) r.unresolved;
+  Format.fprintf ppf "@]"

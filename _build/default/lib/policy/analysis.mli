@@ -1,0 +1,62 @@
+(** Static analysis of a service's policy.
+
+    The paper stresses that "the formal expression of policy and its
+    automatic deployment" must keep policies consistent as they evolve
+    (Sect. 1, ref [1]). This module answers the questions a policy author
+    asks before deploying rules — without running anything:
+
+    - which roles are {e reachable} by a principal holding given appointment
+      kinds (abstracting over parameters and environmental constraints);
+    - which roles are {e dead} (unreachable no matter what the principal
+      holds);
+    - whether the prerequisite-role graph is acyclic (a cycle among
+      non-initial roles means none of them can ever be the first activated);
+    - which privileges are grantable, and which are dead;
+    - which referenced roles, services or appointment kinds are never
+      defined anywhere (likely typos).
+
+    The analysis is sound for reachability-as-possibility: environmental
+    constraints are assumed satisfiable (they depend on runtime state), so
+    "reachable" means "reachable for some environment". A role reported dead
+    is dead in every environment. *)
+
+type service_policy = {
+  sp_name : string;  (** registered service name *)
+  activations : Rule.activation list;
+  authorizations : Rule.authorization list;
+  appointment_kinds : string list;  (** kinds this service can issue *)
+}
+
+type world_policy = service_policy list
+
+(** Where a role/kind reference points. *)
+type unresolved =
+  | Unknown_service of { at : string; rule : string; service : string }
+  | Unknown_role of { at : string; rule : string; service : string; role : string }
+  | Unknown_appointment of { at : string; rule : string; issuer : string; kind : string }
+
+val pp_unresolved : Format.formatter -> unresolved -> unit
+
+type report = {
+  reachable_roles : (string * string) list;  (** (service, role), lexicographic *)
+  dead_roles : (string * string) list;
+      (** defined but unreachable even with every appointment kind in hand *)
+  grantable_privileges : (string * string) list;
+  dead_privileges : (string * string) list;
+  prereq_cycles : (string * string) list list;
+      (** strongly-connected components of size > 1 (or self-loops) in the
+          prerequisite graph, each a list of (service, role) *)
+  unresolved : unresolved list;
+}
+
+val analyse : ?held_appointments:(string * string) list -> world_policy -> report
+(** [analyse ~held_appointments world] computes reachability for a principal
+    holding the given [(issuer service, kind)] appointment certificates.
+    Defaults to {e all} kinds every service can issue — the most permissive
+    principal — which is what dead-role detection wants. *)
+
+val of_statements :
+  name:string -> ?appointment_kinds:string list -> Parser.statement list -> service_policy
+(** Convenience builder from parsed policy text. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,389 @@
+module Value = Oasis_util.Value
+module Ident = Oasis_util.Ident
+
+type statement =
+  | Activation of Rule.activation
+  | Authorization of Rule.authorization
+  | Appointer of Rule.authorization
+      (* appoint kind(args) <- role conditions; the privilege field holds
+         the appointment kind *)
+
+type error = { line : int; message : string }
+
+let pp_error ppf { line; message } = Format.fprintf ppf "policy syntax error, line %d: %s" line message
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tident of string (* may contain '#': tag#3 *)
+  | Tint of int
+  | Tfloat of float
+  | Tstring of string
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tarrow
+  | Tat
+  | Tstar
+  | Tsemi
+  | Tcolon
+  | Tbang
+
+exception Lex_error of int * string
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '#'
+  || c = '.' (* qualified service names: hospital.civ *)
+
+let tokenize src =
+  let tokens = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let push t = tokens := (t, !line) :: !tokens in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (push Tlparen; incr i)
+    else if c = ')' then (push Trparen; incr i)
+    else if c = ',' then (push Tcomma; incr i)
+    else if c = '@' then (push Tat; incr i)
+    else if c = '*' then (push Tstar; incr i)
+    else if c = ';' then (push Tsemi; incr i)
+    else if c = ':' then (push Tcolon; incr i)
+    else if c = '!' then (push Tbang; incr i)
+    else if c = '<' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      push Tarrow;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && src.[!j] <> '"' do
+        if src.[!j] = '\n' then raise (Lex_error (!line, "unterminated string"));
+        incr j
+      done;
+      if !j >= n then raise (Lex_error (!line, "unterminated string"));
+      push (Tstring (String.sub src start (!j - start)));
+      i := !j + 1
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      let saw_dot = ref false in
+      while !i < n && ((src.[!i] >= '0' && src.[!i] <= '9') || (src.[!i] = '.' && not !saw_dot)) do
+        if src.[!i] = '.' then saw_dot := true;
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      if !saw_dot then push (Tfloat (float_of_string text)) else push (Tint (int_of_string text))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (Tident (String.sub src start (!i - start)))
+    end
+    else raise (Lex_error (!line, Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+type state = { mutable toks : (token * int) list; mutable last_line : int }
+
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+let line st = match st.toks with [] -> st.last_line | (_, l) :: _ -> l
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | (_, l) :: rest ->
+      st.last_line <- l;
+      st.toks <- rest
+
+let fail st message = raise (Parse_error (line st, message))
+
+let expect st token message =
+  match peek st with
+  | Some t when t = token -> advance st
+  | _ -> fail st message
+
+let ident st =
+  match peek st with
+  | Some (Tident name) ->
+      advance st;
+      name
+  | _ -> fail st "expected an identifier"
+
+(* A term in argument position. *)
+let term st =
+  match peek st with
+  | Some (Tint n) ->
+      advance st;
+      Term.Const (Value.Int n)
+  | Some (Tfloat f) ->
+      advance st;
+      Term.Const (Value.Time f)
+  | Some (Tstring s) ->
+      advance st;
+      Term.Const (Value.Str s)
+  | Some (Tident "true") ->
+      advance st;
+      Term.Const (Value.Bool true)
+  | Some (Tident "false") ->
+      advance st;
+      Term.Const (Value.Bool false)
+  | Some (Tident name) -> (
+      advance st;
+      if String.contains name '#' then
+        match Ident.of_string name with
+        | Some id -> Term.Const (Value.Id id)
+        | None -> fail st (Printf.sprintf "malformed identifier constant %s" name)
+      else Term.Var name)
+  | _ -> fail st "expected a term"
+
+let term_list st =
+  match peek st with
+  | Some Tlparen ->
+      advance st;
+      if peek st = Some Trparen then begin
+        advance st;
+        []
+      end
+      else begin
+        let rec more acc =
+          let t = term st in
+          match peek st with
+          | Some Tcomma ->
+              advance st;
+              more (t :: acc)
+          | Some Trparen ->
+              advance st;
+              List.rev (t :: acc)
+          | _ -> fail st "expected ',' or ')' in argument list"
+        in
+        more []
+      end
+  | _ -> []
+
+let service_suffix st =
+  match peek st with
+  | Some Tat ->
+      advance st;
+      Some (ident st)
+  | _ -> None
+
+(* One body condition, with its membership flag. *)
+let condition st =
+  let monitored =
+    match peek st with
+    | Some Tstar ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let name = ident st in
+  match (name, peek st) with
+  | "appt", Some Tcolon ->
+      advance st;
+      let kind = ident st in
+      let args = term_list st in
+      let service = service_suffix st in
+      (monitored, Rule.Appointment { service; name = kind; args })
+  | "env", Some Tcolon ->
+      advance st;
+      let negated =
+        match peek st with
+        | Some Tbang ->
+            advance st;
+            true
+        | _ -> false
+      in
+      let pred = ident st in
+      let pred = if negated then "!" ^ pred else pred in
+      let args = term_list st in
+      (monitored, Rule.Constraint (pred, args))
+  | _, _ ->
+      let args = term_list st in
+      let service = service_suffix st in
+      (monitored, Rule.Prereq { service; name; args })
+
+let condition_list st =
+  let rec more acc =
+    let c = condition st in
+    match peek st with
+    | Some Tcomma ->
+        advance st;
+        more (c :: acc)
+    | _ -> List.rev (c :: acc)
+  in
+  more []
+
+let authorization_body st ~keyword =
+  let privilege = ident st in
+  let priv_args = term_list st in
+  expect st Tarrow (Printf.sprintf "expected '<-' after %s head" keyword);
+  let body = condition_list st in
+  let required_roles, constraints =
+    List.fold_left
+      (fun (roles, constraints) (monitored, condition) ->
+        if monitored then
+          fail st (Printf.sprintf "membership marks '*' are not allowed in %s rules" keyword);
+        match condition with
+        | Rule.Prereq r -> (r :: roles, constraints)
+        | Rule.Constraint (name, args) -> (roles, (name, args) :: constraints)
+        | Rule.Appointment _ ->
+            fail st
+              (Printf.sprintf
+                 "appointment certificates cannot appear in %s rules; gate a role on them" keyword))
+      ([], []) body
+  in
+  expect st Tsemi "expected ';' at end of statement";
+  {
+    Rule.privilege;
+    priv_args;
+    required_roles = List.rev required_roles;
+    constraints = List.rev constraints;
+  }
+
+let statement st =
+  match peek st with
+  | Some (Tident "priv") ->
+      advance st;
+      Authorization (authorization_body st ~keyword:"priv")
+  | Some (Tident "appoint") ->
+      advance st;
+      Appointer (authorization_body st ~keyword:"appoint")
+  | Some (Tident _) ->
+      let initial =
+        match peek st with
+        | Some (Tident "initial") ->
+            advance st;
+            true
+        | _ -> false
+      in
+      let role = ident st in
+      let params = term_list st in
+      let body =
+        match peek st with
+        | Some Tarrow ->
+            advance st;
+            condition_list st
+        | _ -> []
+      in
+      expect st Tsemi "expected ';' at end of statement";
+      (try Activation (Rule.activation ~initial ~role ~params body)
+       with Invalid_argument msg -> fail st msg)
+  | _ -> fail st "expected a rule"
+
+let parse src =
+  match
+    let st = { toks = tokenize src; last_line = 1 } in
+    let rec loop acc = match peek st with None -> List.rev acc | Some _ -> loop (statement st :: acc) in
+    loop []
+  with
+  | statements -> Ok statements
+  | exception Lex_error (line, message) -> Error { line; message }
+  | exception Parse_error (line, message) -> Error { line; message }
+
+let parse_exn src =
+  match parse src with
+  | Ok statements -> statements
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)
+
+let activations statements =
+  List.filter_map (function Activation a -> Some a | Authorization _ | Appointer _ -> None) statements
+
+let authorizations statements =
+  List.filter_map (function Authorization a -> Some a | Activation _ | Appointer _ -> None) statements
+
+let appointers statements =
+  List.filter_map (function Appointer a -> Some a | Activation _ | Authorization _ -> None) statements
+
+(* ------------------------------------------------------------------ *)
+(* Canonical printer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let print_value = function
+  | Value.Int n -> string_of_int n
+  | Value.Bool b -> string_of_bool b
+  | Value.Time f ->
+      (* The lexer reads digits and one dot — no exponents, no hex. %.17g
+         is exact for doubles; reject reprs the grammar cannot express and
+         ensure a dot so the token lexes as a float. *)
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s 'e' || String.contains s 'E' || String.contains s 'n' then
+        invalid_arg "Parser.print: time constant not expressible in policy syntax";
+      if String.contains s '.' then s else s ^ ".0"
+  | Value.Id id -> Ident.to_string id
+  | Value.Str s ->
+      (* The lexer takes string contents verbatim (no escapes). *)
+      if String.exists (fun c -> c = '"' || c = '\n' || c = '\\') s then
+        invalid_arg "Parser.print: string constant contains a quote, newline or backslash";
+      "\"" ^ s ^ "\""
+
+let print_term = function
+  | Term.Var v -> v
+  | Term.Const c -> print_value c
+
+let print_args = function
+  | [] -> ""
+  | args -> "(" ^ String.concat ", " (List.map print_term args) ^ ")"
+
+let print_cred_ref (r : Rule.cred_ref) =
+  r.name ^ print_args r.args ^ match r.service with None -> "" | Some s -> "@" ^ s
+
+let print_condition = function
+  | Rule.Prereq r -> print_cred_ref r
+  | Rule.Appointment r -> "appt:" ^ print_cred_ref r
+  | Rule.Constraint (name, args) ->
+      let negated, base =
+        if String.length name > 0 && name.[0] = '!' then
+          (true, String.sub name 1 (String.length name - 1))
+        else (false, name)
+      in
+      "env:" ^ (if negated then "!" else "") ^ base ^ print_args args
+
+let print_authorization ~keyword (auth : Rule.authorization) =
+  let body =
+    List.map print_cred_ref auth.required_roles
+    @ List.map (fun (n, a) -> print_condition (Rule.Constraint (n, a))) auth.constraints
+  in
+  keyword ^ " " ^ auth.privilege ^ print_args auth.priv_args ^ " <- " ^ String.concat ", " body
+  ^ " ;"
+
+let print_statement = function
+  | Activation (rule : Rule.activation) ->
+      let head = rule.role ^ print_args rule.params in
+      let prefix = if rule.initial then "initial " else "" in
+      let body =
+        List.map2
+          (fun monitored condition ->
+            (if monitored then "*" else "") ^ print_condition condition)
+          rule.membership rule.conditions
+      in
+      if body = [] then prefix ^ head ^ " ;"
+      else prefix ^ head ^ " <- " ^ String.concat ", " body ^ " ;"
+  | Authorization auth -> print_authorization ~keyword:"priv" auth
+  | Appointer auth -> print_authorization ~keyword:"appoint" auth
+
+let print statements = String.concat "\n" (List.map print_statement statements)

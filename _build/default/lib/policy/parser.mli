@@ -1,0 +1,65 @@
+(** Textual policy language.
+
+    The paper's companion work translates pseudo-natural-language policy into
+    first-order predicate calculus (Sect. 1, ref [1]); services then hold the
+    formal rules. This module gives the reproduction a concrete syntax for
+    those rules so examples and tests read like the paper's policies.
+
+    Note on ['*']: prerequisite-role dependencies are monitored by the
+    engine whether or not they carry the marker — Sect. 4's session trees
+    always collapse. The marker matters for appointment certificates and
+    environmental constraints, which are checked only at activation unless
+    starred.
+
+    Grammar (statements end with [;]; [//] starts a comment):
+    {v
+    // role activation; '*' marks a membership (monitored) condition,
+    // '@svc' names the issuing service (default: the installing service),
+    // 'initial' marks a session-starting role.
+    initial logged_in(u) <- appt:employee(u)@admin ;
+    doctor(u) <- *logged_in(u), appt:qualified(u)@admin ;
+    treating_doctor(doc, pat) <-
+        *doctor(doc), *appt:assigned(doc, pat)@aande, env:!excluded(doc, pat) ;
+
+    // authorization of a privilege at this service
+    priv read_record(doc, pat) <- treating_doctor(doc, pat), env:!excluded(doc, pat) ;
+
+    // who may issue 'assigned' appointment certificates
+    appoint assigned(doc, pat) <- screening_nurse(n) ;
+    v}
+
+    Argument tokens: lowercase identifiers are variables; ["quoted"] strings,
+    integers, floats (read as {!Oasis_util.Value.Time}), [true]/[false] and
+    [tag#n] identifiers are constants. *)
+
+type statement =
+  | Activation of Rule.activation
+  | Authorization of Rule.authorization
+  | Appointer of Rule.authorization
+      (** [appoint kind(args) <- conditions ;] — who may issue appointment
+          certificates of this kind ("being active in certain roles carries
+          the privilege of issuing appointment certificates", Sect. 1). The
+          [privilege] field carries the kind; conditions are roles and
+          environmental constraints, as for [priv]. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (statement list, error) result
+
+val parse_exn : string -> statement list
+(** Raises [Failure] with the formatted error; for policies embedded in
+    examples and tests. *)
+
+val activations : statement list -> Rule.activation list
+val authorizations : statement list -> Rule.authorization list
+val appointers : statement list -> Rule.authorization list
+
+val print_statement : statement -> string
+(** Canonical concrete syntax: [parse (print_statement s)] yields a
+    statement structurally equal to [s] (property-tested). Strings
+    containing ['"'] or newlines are not printable; [Invalid_argument]. *)
+
+val print : statement list -> string
+(** One statement per line. *)

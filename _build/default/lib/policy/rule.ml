@@ -1,0 +1,69 @@
+type cred_ref = { service : string option; name : string; args : Term.t list }
+
+type condition =
+  | Prereq of cred_ref
+  | Appointment of cred_ref
+  | Constraint of string * Term.t list
+
+let pp_args ppf args =
+  if args <> [] then
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Term.pp)
+      args
+
+let pp_cred_ref ppf { service; name; args } =
+  Format.fprintf ppf "%s%a" name pp_args args;
+  match service with None -> () | Some s -> Format.fprintf ppf "@@%s" s
+
+let pp_condition ppf = function
+  | Prereq r -> pp_cred_ref ppf r
+  | Appointment r -> Format.fprintf ppf "appt:%a" pp_cred_ref r
+  | Constraint (name, args) -> Format.fprintf ppf "env:%s%a" name pp_args args
+
+type activation = {
+  role : string;
+  params : Term.t list;
+  conditions : condition list;
+  membership : bool list;
+  initial : bool;
+}
+
+let activation ?(initial = false) ~role ~params tagged =
+  let conditions = List.map snd tagged in
+  let membership = List.map fst tagged in
+  if initial && List.exists (function Prereq _ -> true | _ -> false) conditions then
+    invalid_arg
+      (Printf.sprintf "Rule.activation: initial role %s cannot require a prerequisite role" role);
+  if (not initial) && conditions = [] then
+    invalid_arg (Printf.sprintf "Rule.activation: non-initial role %s needs conditions" role);
+  { role; params; conditions; membership; initial }
+
+type authorization = {
+  privilege : string;
+  priv_args : Term.t list;
+  required_roles : cred_ref list;
+  constraints : (string * Term.t list) list;
+}
+
+let pp_activation ppf rule =
+  let pp_tagged ppf (monitored, condition) =
+    Format.fprintf ppf "%s%a" (if monitored then "*" else "") pp_condition condition
+  in
+  Format.fprintf ppf "%s%a <- %a%s" rule.role pp_args rule.params
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_tagged)
+    (List.combine rule.membership rule.conditions)
+    (if rule.initial then " [initial]" else "")
+
+let pp_authorization ppf auth =
+  Format.fprintf ppf "priv %s%a <- %a" auth.privilege pp_args auth.priv_args
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf c -> pp_condition ppf c))
+    (List.map (fun r -> Prereq r) auth.required_roles
+    @ List.map (fun (n, a) -> Constraint (n, a)) auth.constraints)
+
+let head_vars rule = Term.vars rule.params
+
+let membership_conditions rule =
+  List.filteri (fun i _ -> List.nth rule.membership i) (List.mapi (fun i c -> (i, c)) rule.conditions)
+  |> List.map (fun (i, c) -> (i, c))

@@ -1,0 +1,122 @@
+module Value = Oasis_util.Value
+module Ident = Oasis_util.Ident
+module Subst = Term.Subst
+
+type cred = {
+  cred_id : Ident.t;
+  issuer : Ident.t;
+  cred_name : string;
+  cred_args : Value.t list;
+}
+
+type context = {
+  find_rmcs : service:string option -> name:string -> cred list;
+  find_appointments : issuer:string option -> name:string -> cred list;
+  env_check : string -> Value.t list -> bool;
+  env_enumerate : string -> Value.t list list;
+}
+
+type support =
+  | By_rmc of cred
+  | By_appointment of cred
+  | By_env of string * Value.t list
+
+let pp_support ppf = function
+  | By_rmc c -> Format.fprintf ppf "rmc:%a=%s" Ident.pp c.cred_id c.cred_name
+  | By_appointment c -> Format.fprintf ppf "appt:%a=%s" Ident.pp c.cred_id c.cred_name
+  | By_env (name, args) ->
+      Format.fprintf ppf "env:%s(%a)" name
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Value.pp)
+        args
+
+type proof = {
+  rule : Rule.activation;
+  subst : Subst.t;
+  role_args : Value.t list;
+  support : support list;
+}
+
+exception Unbound_head of string * string
+
+(* Generic depth-first proof search over the conditions. [emit] receives each
+   full solution; it returns [true] to continue searching or [false] to cut. *)
+let search ctx conditions ~seed ~emit =
+  let rec go subst acc = function
+    | [] -> emit subst (List.rev acc)
+    | condition :: rest ->
+        let try_creds kind candidates (r : Rule.cred_ref) =
+          (* Try each candidate credential that unifies with the pattern. *)
+          let rec loop = function
+            | [] -> true
+            | cred :: more -> (
+                match Term.unify_args subst r.Rule.args cred.cred_args with
+                | None -> loop more
+                | Some subst' ->
+                    if go subst' (kind cred :: acc) rest then loop more else false)
+          in
+          loop candidates
+        in
+        (match condition with
+        | Rule.Prereq r ->
+            try_creds (fun c -> By_rmc c) (ctx.find_rmcs ~service:r.service ~name:r.name) r
+        | Rule.Appointment r ->
+            try_creds
+              (fun c -> By_appointment c)
+              (ctx.find_appointments ~issuer:r.service ~name:r.name)
+              r
+        | Rule.Constraint (name, args) -> (
+            match List.map (Term.ground subst) args with
+            | grounded when List.for_all Option.is_some grounded ->
+                let values = List.map Option.get grounded in
+                if ctx.env_check name values then
+                  go subst (By_env (name, values) :: acc) rest
+                else true
+            | _ ->
+                (* Free variables: enumerate matching facts to bind them. *)
+                let rec loop = function
+                  | [] -> true
+                  | tuple :: more -> (
+                      match Term.unify_args subst args tuple with
+                      | None -> loop more
+                      | Some subst' ->
+                          if go subst' (By_env (name, tuple) :: acc) rest then loop more
+                          else false)
+                in
+                loop (ctx.env_enumerate name)))
+  in
+  ignore (go seed [] conditions)
+
+let ground_head (rule : Rule.activation) subst =
+  List.map
+    (fun param ->
+      match Term.ground subst param with
+      | Some v -> v
+      | None ->
+          let var = match param with Term.Var v -> v | Term.Const _ -> assert false in
+          raise (Unbound_head (rule.role, var)))
+    rule.params
+
+let activation ctx (rule : Rule.activation) ?(seed = Subst.empty) () =
+  let result = ref None in
+  search ctx rule.conditions ~seed ~emit:(fun subst support ->
+      result := Some { rule; subst; role_args = ground_head rule subst; support };
+      false);
+  !result
+
+let activation_all ctx (rule : Rule.activation) ?(seed = Subst.empty) () =
+  let results = ref [] in
+  search ctx rule.conditions ~seed ~emit:(fun subst support ->
+      results := { rule; subst; role_args = ground_head rule subst; support } :: !results;
+      true);
+  List.rev !results
+
+let authorization ctx (auth : Rule.authorization) ?(seed = Subst.empty) () =
+  let conditions =
+    List.map (fun r -> Rule.Prereq r) auth.required_roles
+    @ List.map (fun (name, args) -> Rule.Constraint (name, args)) auth.constraints
+  in
+  let result = ref None in
+  search ctx conditions ~seed ~emit:(fun subst support ->
+      result := Some (subst, support);
+      false);
+  !result

@@ -1,0 +1,1 @@
+lib/script/scenario.ml: Buffer Format Hashtbl List Oasis_cert Oasis_core Oasis_domain Oasis_policy Oasis_util Option Printf Result String

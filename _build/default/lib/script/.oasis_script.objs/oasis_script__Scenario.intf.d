@@ -1,0 +1,1 @@
+lib/script/scenario.mli: Format Oasis_policy

@@ -1,0 +1,559 @@
+module World = Oasis_core.World
+module Service = Oasis_core.Service
+module Principal = Oasis_core.Principal
+module Protocol = Oasis_core.Protocol
+module Civ = Oasis_domain.Civ
+module Env = Oasis_policy.Env
+module Value = Oasis_util.Value
+module Ident = Oasis_util.Ident
+
+type outcome = { log : string list; failures : string list }
+
+type error = { line : int; message : string }
+
+let pp_error ppf { line; message } = Format.fprintf ppf "scenario error, line %d: %s" line message
+
+exception Stop of error
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Stop { line; message })) fmt
+
+(* A certificate a label can refer to. *)
+type labelled =
+  | Civ_appt of Oasis_cert.Appointment.t
+  | Svc_appt of Service.t * Oasis_cert.Appointment.t
+  | Role_rmc of Service.t * Oasis_cert.Rmc.t
+
+type state = {
+  mutable world : World.t option;
+  mutable civ : Civ.t option;
+  mutable seed : int;
+  services : (string, Service.t) Hashtbl.t;
+  principals : (string, Principal.t) Hashtbl.t;
+  sessions : (string, Principal.t * Principal.session) Hashtbl.t;
+  labels : (string, labelled) Hashtbl.t;
+  mutable log : string list;
+  mutable failures : string list;
+}
+
+let fresh_state () =
+  {
+    world = None;
+    civ = None;
+    seed = 1;
+    services = Hashtbl.create 8;
+    principals = Hashtbl.create 8;
+    sessions = Hashtbl.create 8;
+    labels = Hashtbl.create 8;
+    log = [];
+    failures = [];
+  }
+
+let say st fmt = Format.kasprintf (fun s -> st.log <- s :: st.log) fmt
+
+let world st line =
+  match st.world with
+  | Some w -> w
+  | None ->
+      let w = World.create ~seed:st.seed () in
+      let civ = Civ.create w ~name:"civ" () in
+      st.world <- Some w;
+      st.civ <- Some civ;
+      ignore line;
+      w
+
+let civ st line =
+  ignore (world st line);
+  Option.get st.civ
+
+let find tbl line kind name =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None -> fail line "unknown %s %s" kind name
+
+(* ------------------------------------------------------------------ *)
+(* Line-level tokenizing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s
+
+(* Splits "name(arg, arg)" into (name, Some "arg, arg"); plain names give
+   (name, None). *)
+let split_call line s =
+  match String.index_opt s '(' with
+  | None -> (s, None)
+  | Some i ->
+      if s.[String.length s - 1] <> ')' then fail line "missing ')' in %s" s;
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 2)))
+
+let arg_tokens s =
+  (* Split on commas outside quotes. *)
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      end
+      else if c = ',' && not !in_string then begin
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      end
+      else Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  (* [parts] accumulated in reverse; rev_map restores source order. *)
+  List.rev_map String.trim !parts |> List.filter (fun p -> p <> "")
+
+let parse_value st line token =
+  match Hashtbl.find_opt st.principals token with
+  | Some p -> Value.Id (Principal.id p)
+  | None -> (
+      match int_of_string_opt token with
+      | Some n -> Value.Int n
+      | None -> (
+          if token = "true" then Value.Bool true
+          else if token = "false" then Value.Bool false
+          else if String.length token >= 2 && token.[0] = '"' then
+            Value.Str (String.sub token 1 (String.length token - 2))
+          else
+            match float_of_string_opt token with
+            | Some f -> Value.Time f
+            | None -> fail line "cannot read argument %s (unknown principal?)" token))
+
+let parse_args st line = function
+  | None -> []
+  | Some s -> List.map (parse_value st line) (arg_tokens s)
+
+let parse_pins st line = function
+  | None -> []
+  | Some s ->
+      List.map
+        (fun token -> if token = "_" then None else Some (parse_value st line token))
+        (arg_tokens s)
+
+(* Pulls "expect granted|denied", "as LABEL", "expires F", "to NAME" options
+   off the tail of a word list. Returns (remaining, options). *)
+type opts = {
+  mutable expect : [ `Granted | `Denied ] option;
+  mutable label : string option;
+  mutable expires : float option;
+  mutable recipient : string option;
+}
+
+let take_options line words =
+  let opts = { expect = None; label = None; expires = None; recipient = None } in
+  let rec go = function
+    | "expect" :: "granted" :: rest ->
+        opts.expect <- Some `Granted;
+        go rest
+    | "expect" :: "denied" :: rest ->
+        opts.expect <- Some `Denied;
+        go rest
+    | "as" :: label :: rest ->
+        opts.label <- Some label;
+        go rest
+    | "expires" :: f :: rest ->
+        (match float_of_string_opt f with
+        | Some v -> opts.expires <- Some v
+        | None -> fail line "bad expiry %s" f);
+        go rest
+    | "to" :: name :: rest ->
+        opts.recipient <- Some name;
+        go rest
+    | [] -> []
+    | word :: _ -> fail line "unexpected word %s" word
+  in
+  let rec split acc = function
+    | ("expect" | "as" | "expires" | "to") :: _ as tail ->
+        ignore (go tail);
+        List.rev acc
+    | w :: rest -> split (w :: acc) rest
+    | [] -> List.rev acc
+  in
+  let remaining = split [] words in
+  (remaining, opts)
+
+let check_expectation st line what result opts =
+  match (opts.expect, result) with
+  | None, _ -> ()
+  | Some `Granted, Ok () -> ()
+  | Some `Denied, Error _ -> ()
+  | Some `Granted, Error denial ->
+      st.failures <-
+        Printf.sprintf "line %d: %s expected granted, was denied (%s)" line what
+          (Protocol.denial_to_string denial)
+        :: st.failures
+  | Some `Denied, Ok () ->
+      st.failures <- Printf.sprintf "line %d: %s expected denied, was granted" line what :: st.failures
+
+(* ------------------------------------------------------------------ *)
+(* Command execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let remember_label st opts labelled =
+  match opts.label with Some l -> Hashtbl.replace st.labels l labelled | None -> ()
+
+let exec_grant st line words opts =
+  match words with
+  | [ call ] ->
+      let kind, args = split_call line call in
+      let holder_name =
+        match opts.recipient with Some n -> n | None -> fail line "grant needs 'to PRINCIPAL'"
+      in
+      let holder = find st.principals line "principal" holder_name in
+      let appt =
+        Civ.issue (civ st line) ~kind
+          ~args:(parse_args st line args)
+          ~holder:(Principal.id holder)
+          ~holder_key:(Principal.longterm_public holder)
+          ?expires_at:opts.expires ()
+      in
+      Principal.grant_appointment holder appt;
+      remember_label st opts (Civ_appt appt);
+      say st "granted %s to %s" call holder_name
+  | _ -> fail line "grant KIND(args) to PRINCIPAL [as LABEL] [expires F]"
+
+let exec_activate st line words opts =
+  match words with
+  | [ pname; sname; svc_name; call ] ->
+      let p, session =
+        ( find st.principals line "principal" pname,
+          snd (find st.sessions line "session" sname) )
+      in
+      let svc = find st.services line "service" svc_name in
+      let role, pins = split_call line call in
+      let args = parse_pins st line pins in
+      let result =
+        World.run_proc (world st line) (fun () -> Principal.activate p session svc ~role ~args ())
+      in
+      (match result with
+      | Ok rmc ->
+          remember_label st opts (Role_rmc (svc, rmc));
+          say st "%s activated %s at %s" pname call svc_name
+      | Error d -> say st "%s denied %s at %s (%s)" pname call svc_name (Protocol.denial_to_string d));
+      check_expectation st line (Printf.sprintf "activate %s" call)
+        (Result.map (fun _ -> ()) result)
+        opts
+  | _ -> fail line "activate PRINCIPAL SESSION SERVICE ROLE[(pins)] [as LABEL] [expect ...]"
+
+let exec_invoke st line words opts =
+  match words with
+  | [ pname; sname; svc_name; call ] ->
+      let p = find st.principals line "principal" pname in
+      let _, session = find st.sessions line "session" sname in
+      let svc = find st.services line "service" svc_name in
+      let privilege, args = split_call line call in
+      let result =
+        World.run_proc (world st line) (fun () ->
+            Principal.invoke p session svc ~privilege ~args:(parse_args st line args))
+      in
+      (match result with
+      | Ok _ -> say st "%s invoked %s at %s" pname call svc_name
+      | Error d -> say st "%s refused %s at %s (%s)" pname call svc_name (Protocol.denial_to_string d));
+      check_expectation st line (Printf.sprintf "invoke %s" call)
+        (Result.map (fun _ -> ()) result)
+        opts
+  | _ -> fail line "invoke PRINCIPAL SESSION SERVICE PRIV(args) [expect ...]"
+
+let exec_appoint st line words opts =
+  match words with
+  | [ pname; sname; svc_name; call ] ->
+      let p = find st.principals line "principal" pname in
+      let _, session = find st.sessions line "session" sname in
+      let svc = find st.services line "service" svc_name in
+      let kind, args = split_call line call in
+      let holder_name =
+        match opts.recipient with Some n -> n | None -> fail line "appoint needs 'to PRINCIPAL'"
+      in
+      let holder = find st.principals line "principal" holder_name in
+      let result =
+        World.run_proc (world st line) (fun () ->
+            Principal.appoint p session svc ~kind ~args:(parse_args st line args) ~holder
+              ?expires_at:opts.expires ())
+      in
+      (match result with
+      | Ok appt ->
+          remember_label st opts (Svc_appt (svc, appt));
+          say st "%s appointed %s to %s at %s" pname call holder_name svc_name
+      | Error d -> say st "%s refused appointment %s (%s)" svc_name call (Protocol.denial_to_string d));
+      check_expectation st line (Printf.sprintf "appoint %s" call)
+        (Result.map (fun _ -> ()) result)
+        opts
+  | _ -> fail line "appoint PRINCIPAL SESSION SERVICE KIND(args) to HOLDER [as LABEL] [expect ...]"
+
+let exec_revoke st line words =
+  match words with
+  | [ label ] -> (
+      match find st.labels line "label" label with
+      | Civ_appt appt ->
+          let changed =
+            Civ.revoke (civ st line) appt.Oasis_cert.Appointment.id ~reason:"scenario revoke"
+          in
+          say st "revoked %s (%b)" label changed
+      | Svc_appt (svc, appt) ->
+          let changed =
+            Service.revoke_certificate svc appt.Oasis_cert.Appointment.id
+              ~reason:"scenario revoke"
+          in
+          say st "revoked %s (%b)" label changed
+      | Role_rmc (svc, rmc) ->
+          let changed =
+            Service.revoke_certificate svc rmc.Oasis_cert.Rmc.id ~reason:"scenario revoke"
+          in
+          say st "revoked %s (%b)" label changed)
+  | _ -> fail line "revoke LABEL"
+
+let exec_fact st line assertp words =
+  match words with
+  | [ svc_name; call ] ->
+      let svc = find st.services line "service" svc_name in
+      let pred, args = split_call line call in
+      let values = parse_args st line args in
+      if assertp then Env.assert_fact (Service.env svc) pred values
+      else Env.retract_fact (Service.env svc) pred values;
+      say st "%s %s at %s" (if assertp then "asserted" else "retracted") call svc_name
+  | _ -> fail line "fact|retract SERVICE PRED(args)"
+
+let show st line svc_name =
+  let svc = find st.services line "service" svc_name in
+  let stats = Service.stats svc in
+  say st "%s: %d active role(s); act +%d/-%d; inv +%d/-%d; revocations %d" svc_name
+    (List.length (Service.active_roles svc))
+    stats.Service.activations_granted stats.Service.activations_denied
+    stats.Service.invocations_granted stats.Service.invocations_denied stats.Service.revocations;
+  List.iter
+    (fun (_, role, args, principal) ->
+      say st "  %s(%s) held by %s" role
+        (String.concat ", " (List.map Value.to_string args))
+        (Ident.to_string principal))
+    (Service.active_roles svc)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Removes whitespace inside parentheses (but not inside quotes) so that
+   "read_record(alice, 5)" is one word. *)
+let normalize_calls s =
+  let buf = Buffer.create (String.length s) in
+  let depth = ref 0 and in_string = ref false in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      end
+      else if (c = ' ' || c = '\t') && !depth > 0 && not !in_string then ()
+      else begin
+        if not !in_string then
+          if c = '(' then incr depth else if c = ')' then decr depth;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+(* Whitespace split that keeps quoted strings intact. *)
+let split_words s =
+  let s = normalize_calls s in
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let in_string = ref false in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_string := not !in_string;
+        Buffer.add_char buf c
+      end
+      else if (c = ' ' || c = '\t') && not !in_string then flush ()
+      else Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !words
+
+(* Collects a service's policy block: lines until a '}' line. *)
+let rec collect_policy lines acc =
+  match lines with
+  | [] -> None
+  | (_, text) :: rest ->
+      if String.trim text = "}" then Some (String.concat "\n" (List.rev acc), rest)
+      else collect_policy rest ((strip_comment text) :: acc)
+
+let run_lines lines =
+  let st = fresh_state () in
+  let rec step = function
+    | [] -> ()
+    | (line, raw) :: rest -> (
+        let text = String.trim (strip_comment raw) in
+        if text = "" then step rest
+        else
+          let words = split_words text in
+          match words with
+          | [ "seed"; n ] ->
+              (match int_of_string_opt n with
+              | Some seed when st.world = None -> st.seed <- seed
+              | Some _ -> fail line "seed must come before anything else"
+              | None -> fail line "bad seed %s" n);
+              step rest
+          | [ "service"; name; "{" ] -> (
+              match collect_policy rest [] with
+              | None -> fail line "unterminated service block for %s" name
+              | Some (policy, rest) ->
+                  let w = world st line in
+                  (match Service.create w ~name ~policy () with
+                  | svc ->
+                      Hashtbl.replace st.services name svc;
+                      say st "service %s installed" name
+                  | exception Failure m -> fail line "%s" m);
+                  step rest)
+          | [ "principal"; name ] ->
+              Hashtbl.replace st.principals name (Principal.create (world st line) ~name);
+              say st "principal %s" name;
+              step rest
+          | [ "session"; pname; sname ] ->
+              let p = find st.principals line "principal" pname in
+              Hashtbl.replace st.sessions sname (p, Principal.start_session p);
+              say st "session %s for %s" sname pname;
+              step rest
+          | "grant" :: tail ->
+              let words, opts = take_options line tail in
+              exec_grant st line words opts;
+              World.settle (world st line);
+              step rest
+          | "activate" :: tail ->
+              let words, opts = take_options line tail in
+              exec_activate st line words opts;
+              step rest
+          | "invoke" :: tail ->
+              let words, opts = take_options line tail in
+              exec_invoke st line words opts;
+              step rest
+          | "appoint" :: tail ->
+              let words, opts = take_options line tail in
+              exec_appoint st line words opts;
+              step rest
+          | "revoke" :: tail ->
+              exec_revoke st line tail;
+              step rest
+          | "fact" :: tail ->
+              exec_fact st line true tail;
+              step rest
+          | "retract" :: tail ->
+              exec_fact st line false tail;
+              step rest
+          | [ "declare"; svc_name; pred ] ->
+              let svc = find st.services line "service" svc_name in
+              Env.declare_fact (Service.env svc) pred;
+              step rest
+          | [ "settle" ] ->
+              World.settle (world st line);
+              step rest
+          | [ "run-until"; f ] ->
+              (match float_of_string_opt f with
+              | Some t -> World.run_until (world st line) t
+              | None -> fail line "bad time %s" f);
+              step rest
+          | [ "logout"; pname; sname ] ->
+              let p = find st.principals line "principal" pname in
+              let _, session = find st.sessions line "session" sname in
+              World.run_proc (world st line) (fun () -> Principal.logout p session);
+              say st "%s logged out of %s" pname sname;
+              step rest
+          | [ "expect-active"; svc_name; n ] ->
+              let svc = find st.services line "service" svc_name in
+              let want =
+                match int_of_string_opt n with Some v -> v | None -> fail line "bad count %s" n
+              in
+              let got = List.length (Service.active_roles svc) in
+              if got <> want then
+                st.failures <-
+                  Printf.sprintf "line %d: expected %d active role(s) at %s, found %d" line want
+                    svc_name got
+                  :: st.failures;
+              step rest
+          | [ "show"; svc_name ] ->
+              show st line svc_name;
+              step rest
+          | word :: _ -> fail line "unknown command %s" word
+          | [] -> step rest)
+  in
+  step lines;
+  { log = List.rev st.log; failures = List.rev st.failures }
+
+let run_string source =
+  let lines = String.split_on_char '\n' source |> List.mapi (fun i l -> (i + 1, l)) in
+  match run_lines lines with
+  | outcome -> Ok outcome
+  | exception Stop e -> Error e
+  | exception Failure message -> Error { line = 0; message }
+
+let run_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  run_string s
+
+(* ------------------------------------------------------------------ *)
+(* Static extraction for analyze-world                                *)
+(* ------------------------------------------------------------------ *)
+
+let extract_policies source =
+  let lines = String.split_on_char '\n' source |> List.mapi (fun i l -> (i + 1, l)) in
+  let rec gather acc = function
+    | [] -> List.rev acc
+    | (line, raw) :: rest -> (
+        let text = String.trim (strip_comment raw) in
+        match split_words text with
+        | [ "service"; name; "{" ] -> (
+            match collect_policy rest [] with
+            | None -> fail line "unterminated service block for %s" name
+            | Some (policy, rest) -> (
+                match Oasis_policy.Parser.parse policy with
+                | Error e ->
+                    fail (line + e.Oasis_policy.Parser.line)
+                      "in service %s: %s" name e.Oasis_policy.Parser.message
+                | Ok statements ->
+                    gather ((name, statements) :: acc) rest))
+        | _ -> gather acc rest)
+  in
+  match gather [] lines with
+  | exception Stop e -> Error e
+  | services ->
+      (* The implicit CIV can issue whatever kind any rule asks of it. *)
+      let civ_kinds =
+        List.concat_map
+          (fun (_, statements) ->
+            List.concat_map
+              (fun (a : Oasis_policy.Rule.activation) ->
+                List.filter_map
+                  (function
+                    | Oasis_policy.Rule.Appointment
+                        { Oasis_policy.Rule.service = Some "civ"; name; _ } ->
+                        Some name
+                    | _ -> None)
+                  a.conditions)
+              (Oasis_policy.Parser.activations statements))
+          services
+        |> List.sort_uniq compare
+      in
+      let civ =
+        {
+          Oasis_policy.Analysis.sp_name = "civ";
+          activations = [];
+          authorizations = [];
+          appointment_kinds = civ_kinds;
+        }
+      in
+      Ok
+        (civ
+        :: List.map
+             (fun (name, statements) -> Oasis_policy.Analysis.of_statements ~name statements)
+             services)

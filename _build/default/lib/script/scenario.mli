@@ -1,0 +1,63 @@
+(** Scenario scripts: drive an OASIS world from a text file.
+
+    A scenario bundles services (with inline policy), principals,
+    certificates and a sequence of actions with expectations, so whole
+    access-control workflows can be expressed, replayed and checked without
+    writing OCaml — `oasisctl run scenario.scn` executes one. The test
+    suite and the `scenarios/` directory contain examples.
+
+    Format (one command per line; [#] starts a comment):
+    {v
+    seed 7                      # optional, first
+    service hospital {          # inline policy until the closing brace
+      initial logged_in(u) <- appt:employee(u)@civ ;
+      doctor(u) <- *logged_in(u), *appt:qualified(u)@civ ;
+      priv read(u) <- doctor(u) ;
+    }
+    declare hospital assigned   # declare an env fact predicate
+    fact hospital assigned(alice, 5)
+    retract hospital assigned(alice, 5)
+
+    principal alice
+    grant employee(alice) to alice as emp        # issued by the built-in CIV "civ"
+    grant qualified(alice) to alice as qual expires 500.0
+
+    session alice s
+    activate alice s hospital logged_in expect granted
+    activate alice s hospital doctor as docrole expect granted
+    invoke alice s hospital read(alice) expect granted
+
+    revoke qual                 # labels name certificates (appointments or RMCs)
+    settle
+    invoke alice s hospital read(alice) expect denied
+    expect-active hospital 1
+    show hospital
+    logout alice s
+    run-until 1000.0
+    v}
+
+    Argument tokens inside parentheses: a declared principal name denotes
+    its identity; integers, floats (times), ["strings"], [true]/[false] are
+    constants; in [activate] pins, [_] leaves a parameter unconstrained. *)
+
+type outcome = {
+  log : string list;  (** human-readable trace, in execution order *)
+  failures : string list;  (** failed [expect]/[expect-active] checks *)
+}
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val run_string : string -> (outcome, error) result
+(** Parses and executes a scenario. [Error] is a syntax or setup problem
+    (unknown names, malformed commands); expectation failures are data in
+    the [outcome]. *)
+
+val run_file : string -> (outcome, error) result
+
+val extract_policies : string -> (Oasis_policy.Analysis.service_policy list, error) result
+(** Reads only the [service NAME { … }] blocks of a scenario (plus the
+    implicit CIV, which can issue any kind the policies mention), for
+    whole-world static analysis without executing anything —
+    [oasisctl analyze-world]. *)

@@ -1,0 +1,67 @@
+module Clock = Oasis_util.Clock
+
+type event = { mutable cancelled : bool; thunk : unit -> unit }
+
+type cancel = event
+
+type t = {
+  clock : Clock.t;
+  queue : event Heap.t;
+  mutable seq : int;
+  mutable executed : int;
+}
+
+let create ?(start = 0.0) () =
+  { clock = Clock.manual ~start (); queue = Heap.create (); seq = 0; executed = 0 }
+
+let clock t = t.clock
+
+let now t = Clock.now t.clock
+
+let schedule_at t ~at thunk =
+  if at < now t then
+    invalid_arg (Printf.sprintf "Engine.schedule_at: %g is in the past (now %g)" at (now t));
+  let event = { cancelled = false; thunk } in
+  Heap.push t.queue ~time:at ~seq:t.seq event;
+  t.seq <- t.seq + 1;
+  event
+
+let schedule t ~after thunk =
+  if after < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(now t +. after) thunk
+
+let cancel _t event = event.cancelled <- true
+
+let rec every t ~period f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  ignore
+    (schedule t ~after:period (fun () -> if f () then every t ~period f))
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, event) ->
+      Clock.advance_to t.clock time;
+      if not event.cancelled then begin
+        t.executed <- t.executed + 1;
+        event.thunk ()
+      end;
+      true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_time t.queue with
+    | Some time when time <= horizon -> ignore (step t)
+    | _ -> continue := false
+  done;
+  if horizon > now t then Clock.advance_to t.clock horizon
+
+let pending t = Heap.size t.queue
+
+let events_executed t = t.executed

@@ -1,0 +1,43 @@
+(** Discrete-event simulation engine.
+
+    The reproduction substitutes a deterministic discrete-event simulator for
+    the paper's distributed deployment (DESIGN.md §3). The engine owns the
+    virtual clock; all asynchrony — network delivery, event-channel
+    notification, heartbeats — is expressed as thunks scheduled at virtual
+    times and executed in [(time, scheduling order)] order. *)
+
+type t
+
+type cancel
+(** Handle to a scheduled event; see {!cancel}. *)
+
+val create : ?start:float -> unit -> t
+
+val clock : t -> Oasis_util.Clock.t
+val now : t -> float
+
+val schedule : t -> after:float -> (unit -> unit) -> cancel
+(** [schedule t ~after f] runs [f] at [now t +. after]. [after < 0] raises
+    [Invalid_argument]. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> cancel
+
+val cancel : t -> cancel -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val every : t -> period:float -> (unit -> bool) -> unit
+(** [every t ~period f] runs [f] each [period]; stops when [f] returns
+    [false]. Used for heartbeat emitters and pollers. *)
+
+val run : t -> unit
+(** Executes events until the queue is empty, advancing the clock. *)
+
+val run_until : t -> float -> unit
+(** Executes events with time ≤ the horizon, then advances the clock to the
+    horizon exactly. *)
+
+val step : t -> bool
+(** Executes the single next event; [false] if the queue was empty. *)
+
+val pending : t -> int
+val events_executed : t -> int

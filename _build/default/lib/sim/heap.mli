@@ -1,0 +1,19 @@
+(** Minimal binary min-heap keyed by [(time, sequence)].
+
+    The sequence number breaks ties so that events scheduled for the same
+    instant fire in scheduling order — a determinism requirement for
+    replayable simulations. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Removes and returns the minimum element. *)
+
+val peek_time : 'a t -> float option
+(** The key of the minimum element without removing it. *)

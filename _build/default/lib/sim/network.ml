@@ -1,0 +1,148 @@
+module Ident = Oasis_util.Ident
+module Rng = Oasis_util.Rng
+
+type 'msg handler = {
+  on_oneway : src:Ident.t -> 'msg -> unit;
+  on_rpc : src:Ident.t -> 'msg -> 'msg;
+}
+
+type link = { latency : float; jitter : float; loss : float }
+
+type 'msg node = { handler : 'msg handler; mutable down : bool }
+
+type stats = { sent : int; delivered : int; dropped : int; rpcs : int; bytes_sent : int }
+
+type 'msg t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  nodes : 'msg node Ident.Tbl.t;
+  links : (Ident.t * Ident.t, link) Hashtbl.t;
+  default : link;
+  size_of : 'msg -> int;
+  mutable tracer : (src:Ident.t -> dst:Ident.t -> 'msg -> unit) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable rpcs : int;
+  mutable bytes_sent : int;
+}
+
+exception Rpc_dropped
+
+let create engine rng ~default_latency ?(default_jitter = 0.0) ?(size_of = fun _ -> 0) () =
+  {
+    engine;
+    rng;
+    nodes = Ident.Tbl.create 64;
+    links = Hashtbl.create 64;
+    default = { latency = default_latency; jitter = default_jitter; loss = 0.0 };
+    size_of;
+    tracer = None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    rpcs = 0;
+    bytes_sent = 0;
+  }
+
+let engine t = t.engine
+
+let add_node t id handler =
+  if Ident.Tbl.mem t.nodes id then
+    invalid_arg (Printf.sprintf "Network.add_node: %s already registered" (Ident.to_string id));
+  Ident.Tbl.replace t.nodes id { handler; down = false }
+
+let remove_node t id = Ident.Tbl.remove t.nodes id
+
+let set_link t src dst ~latency ?(jitter = 0.0) ?(loss = 0.0) () =
+  Hashtbl.replace t.links (src, dst) { latency; jitter; loss }
+
+let is_down t id =
+  match Ident.Tbl.find_opt t.nodes id with Some node -> node.down | None -> true
+
+let set_down t id down =
+  match Ident.Tbl.find_opt t.nodes id with
+  | Some node -> node.down <- down
+  | None -> invalid_arg (Printf.sprintf "Network.set_down: unknown node %s" (Ident.to_string id))
+
+let link_for t src dst =
+  match Hashtbl.find_opt t.links (src, dst) with Some l -> l | None -> t.default
+
+let delay_of t link = link.latency +. (if link.jitter > 0.0 then Rng.float t.rng link.jitter else 0.0)
+
+(* Attempts one message leg. [k] runs at delivery time with the destination
+   node; [lost] runs immediately if the leg cannot complete. *)
+let transmit t ~src ~dst ~msg ~k ~lost =
+  t.sent <- t.sent + 1;
+  t.bytes_sent <- t.bytes_sent + t.size_of msg;
+  (match t.tracer with Some trace -> trace ~src ~dst msg | None -> ());
+  let src_node = Ident.Tbl.find_opt t.nodes src in
+  let dst_exists = Ident.Tbl.mem t.nodes dst in
+  let src_down = match src_node with Some n -> n.down | None -> false in
+  let link = link_for t src dst in
+  if src_down || (not dst_exists) || (link.loss > 0.0 && Rng.bernoulli t.rng link.loss) then begin
+    t.dropped <- t.dropped + 1;
+    lost ()
+  end
+  else
+    let delay = delay_of t link in
+    ignore
+      (Engine.schedule t.engine ~after:delay (fun () ->
+           match Ident.Tbl.find_opt t.nodes dst with
+           | Some node when not node.down ->
+               t.delivered <- t.delivered + 1;
+               k node
+           | Some _ | None ->
+               (* Destination vanished or went down in flight. *)
+               t.dropped <- t.dropped + 1;
+               lost ()))
+
+let send t ~src ~dst msg =
+  transmit t ~src ~dst ~msg
+    ~k:(fun node -> node.handler.on_oneway ~src msg)
+    ~lost:(fun () -> ())
+
+type 'msg rpc_outcome = Ok_reply of 'msg | Lost
+
+let rpc ?timeout t ~src ~dst msg =
+  let iv : 'msg rpc_outcome Proc.ivar = Proc.ivar () in
+  let lost () =
+    (* With a timeout the caller waits it out (models a lost datagram);
+       without one we fail fast — see the interface comment. *)
+    match timeout with
+    | Some _ -> ()
+    | None -> if Proc.poll iv = None then Proc.fill iv Lost
+  in
+  transmit t ~src ~dst ~msg ~lost ~k:(fun node ->
+      Proc.spawn t.engine (fun () ->
+          let reply = node.handler.on_rpc ~src msg in
+          transmit t ~src:dst ~dst:src ~msg:reply ~lost ~k:(fun _src_node ->
+              if Proc.poll iv = None then Proc.fill iv (Ok_reply reply))));
+  let outcome =
+    match timeout with
+    | None -> Proc.read iv
+    | Some timeout -> Proc.read_timeout t.engine iv ~timeout
+  in
+  match outcome with
+  | Ok_reply reply ->
+      t.rpcs <- t.rpcs + 1;
+      reply
+  | Lost -> raise Rpc_dropped
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    rpcs = t.rpcs;
+    bytes_sent = t.bytes_sent;
+  }
+
+let reset_stats t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.rpcs <- 0;
+  t.bytes_sent <- 0

@@ -1,0 +1,84 @@
+(** Simulated message-passing network.
+
+    Substitutes for the paper's real inter-service communication. Nodes are
+    named by {!Oasis_util.Ident.t}; links have latency, deterministic jitter
+    and an optional loss probability; traffic counters feed the benchmark
+    harness (messages and round trips are the paper-shape quantities we
+    report, see DESIGN.md §4).
+
+    The payload type ['msg] is chosen by the instantiating layer (the OASIS
+    core defines a protocol variant). RPC handlers run inside {!Proc}
+    processes, so a handler may itself perform nested RPCs — exactly the
+    structure of Fig. 3, where the local EHR service calls back the hospital
+    and onward to the national service. *)
+
+type 'msg t
+
+type 'msg handler = {
+  on_oneway : src:Oasis_util.Ident.t -> 'msg -> unit;
+      (** One-way messages: event notifications, heartbeats. *)
+  on_rpc : src:Oasis_util.Ident.t -> 'msg -> 'msg;
+      (** Request/response; runs in a process and may suspend. *)
+}
+
+val create :
+  Engine.t ->
+  Oasis_util.Rng.t ->
+  default_latency:float ->
+  ?default_jitter:float ->
+  ?size_of:('msg -> int) ->
+  unit ->
+  'msg t
+(** [size_of] estimates a message's wire size for the byte counters;
+    defaults to 0 (bytes not tracked). *)
+
+val engine : 'msg t -> Engine.t
+
+val add_node : 'msg t -> Oasis_util.Ident.t -> 'msg handler -> unit
+(** Registering the same node twice raises [Invalid_argument]. *)
+
+val remove_node : 'msg t -> Oasis_util.Ident.t -> unit
+
+val set_link :
+  'msg t -> Oasis_util.Ident.t -> Oasis_util.Ident.t -> latency:float -> ?jitter:float -> ?loss:float -> unit -> unit
+(** Directed link override; unset pairs use the network defaults. *)
+
+val set_down : 'msg t -> Oasis_util.Ident.t -> bool -> unit
+(** A down node neither sends nor receives; messages to/from it are dropped
+    (counted). Used for failure injection. *)
+
+val is_down : 'msg t -> Oasis_util.Ident.t -> bool
+(** [true] for down or unregistered nodes. *)
+
+val send : 'msg t -> src:Oasis_util.Ident.t -> dst:Oasis_util.Ident.t -> 'msg -> unit
+(** One-way send; delivery is scheduled after link latency. Sends to unknown
+    nodes are dropped and counted. Callable from any context. *)
+
+exception Rpc_dropped
+
+val rpc :
+  ?timeout:float -> 'msg t -> src:Oasis_util.Ident.t -> dst:Oasis_util.Ident.t -> 'msg -> 'msg
+(** Request/response round trip; must be called inside a {!Proc} process.
+    If the request or the response is lost and [timeout] is given, raises
+    {!Proc.Timeout} after that much virtual time; without a timeout, a loss
+    raises {!Rpc_dropped} immediately at the point of loss detection
+    (simulator privilege: we know the packet died — this keeps lossless
+    experiments free of timeout tuning). *)
+
+val set_tracer :
+  'msg t -> (src:Oasis_util.Ident.t -> dst:Oasis_util.Ident.t -> 'msg -> unit) option -> unit
+(** Observes every message handed to the network (including ones that will
+    be lost), before delivery scheduling. For debugging and packet traces;
+    [None] removes the tracer. *)
+
+(** Traffic statistics. *)
+type stats = {
+  sent : int;  (** messages handed to the network, including lost ones *)
+  delivered : int;
+  dropped : int;
+  rpcs : int;  (** completed round trips *)
+  bytes_sent : int;  (** per [size_of]; 0 when no estimator was given *)
+}
+
+val stats : 'msg t -> stats
+val reset_stats : 'msg t -> unit

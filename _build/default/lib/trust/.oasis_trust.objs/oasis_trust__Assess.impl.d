@@ -1,0 +1,1 @@
+lib/trust/assess.ml: Audit Float List Oasis_util

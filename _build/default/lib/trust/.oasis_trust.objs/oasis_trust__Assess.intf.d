@@ -1,0 +1,1 @@
+lib/trust/assess.mli: Audit Oasis_util

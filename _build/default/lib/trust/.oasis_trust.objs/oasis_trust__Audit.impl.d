@@ -1,0 +1,1 @@
+lib/trust/audit.ml: Format Oasis_cert Oasis_crypto Oasis_util

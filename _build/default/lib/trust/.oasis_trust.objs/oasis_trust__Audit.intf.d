@@ -1,0 +1,1 @@
+lib/trust/audit.mli: Format Oasis_crypto Oasis_util

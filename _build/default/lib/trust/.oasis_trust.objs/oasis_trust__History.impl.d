@@ -1,0 +1,1 @@
+lib/trust/history.ml: Audit List Oasis_util

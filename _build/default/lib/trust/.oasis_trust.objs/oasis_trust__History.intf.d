@@ -1,0 +1,1 @@
+lib/trust/history.mli: Audit Oasis_util

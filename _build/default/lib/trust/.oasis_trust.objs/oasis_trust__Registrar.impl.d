@@ -1,0 +1,1 @@
+lib/trust/registrar.ml: Audit Oasis_crypto Oasis_util

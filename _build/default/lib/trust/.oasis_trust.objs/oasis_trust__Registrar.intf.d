@@ -1,0 +1,1 @@
+lib/trust/registrar.mli: Audit Oasis_util

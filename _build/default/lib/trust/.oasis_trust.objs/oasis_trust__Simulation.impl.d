@@ -1,0 +1,1 @@
+lib/trust/simulation.ml: Array Assess Audit Float Format History List Oasis_util Registrar

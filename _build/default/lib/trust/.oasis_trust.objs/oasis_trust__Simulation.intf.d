@@ -1,0 +1,1 @@
+lib/trust/simulation.mli: Format

@@ -1,0 +1,74 @@
+module Ident = Oasis_util.Ident
+
+type t = {
+  thr : float;
+  discounting : bool;
+  weights : float Ident.Tbl.t; (* registrar -> credibility *)
+}
+
+let create ?(threshold = 0.5) ?(discounting = true) () =
+  if threshold <= 0.0 || threshold >= 1.0 then
+    invalid_arg "Assess.create: threshold must lie in (0, 1)";
+  { thr = threshold; discounting; weights = Ident.Tbl.create 16 }
+
+let threshold t = t.thr
+
+let registrar_weight t registrar =
+  match Ident.Tbl.find_opt t.weights registrar with Some w -> w | None -> 1.0
+
+type verdict = {
+  subject : Ident.t;
+  score : float;
+  proceed : bool;
+  evidence : (Audit.t * float) list;
+  rejected : int;
+}
+
+let assess t ~validate ~subject ~presented =
+  let evidence, rejected =
+    List.fold_left
+      (fun (evidence, rejected) cert ->
+        if Audit.involves cert subject && validate cert then
+          ((cert, registrar_weight t cert.Audit.registrar) :: evidence, rejected)
+        else (evidence, rejected + 1))
+      ([], 0) presented
+  in
+  let successes, failures =
+    List.fold_left
+      (fun (s, f) ((cert : Audit.t), weight) ->
+        match Audit.outcome_for cert subject with
+        | Some Audit.Fulfilled -> (s +. weight, f)
+        | Some Audit.Breached -> (s, f +. weight)
+        | None -> (s, f))
+      (0.0, 0.0) evidence
+  in
+  (* Beta-reputation point estimate with a uniform prior. *)
+  let score = (successes +. 1.0) /. (successes +. failures +. 2.0) in
+  { subject; score; proceed = score >= t.thr; evidence; rejected }
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let feedback t verdict ~actual =
+  if t.discounting then
+    let vouchers =
+      (* Registrars whose certificates spoke in the subject's favour. *)
+      List.filter_map
+        (fun ((cert : Audit.t), _w) ->
+          match Audit.outcome_for cert verdict.subject with
+          | Some Audit.Fulfilled -> Some cert.registrar
+          | Some Audit.Breached | None -> None)
+        verdict.evidence
+      |> List.sort_uniq Ident.compare
+    in
+    let adjust factor registrar =
+      let w = clamp 0.01 1.0 (registrar_weight t registrar *. factor) in
+      Ident.Tbl.replace t.weights registrar w
+    in
+    match actual with
+    | Audit.Breached when verdict.proceed ->
+        (* The vouched-for party betrayed: the vouchers lose credibility fast. *)
+        List.iter (adjust 0.5) vouchers
+    | Audit.Fulfilled ->
+        (* Consistent testimony: slow recovery. *)
+        List.iter (adjust 1.1) vouchers
+    | Audit.Breached -> ()

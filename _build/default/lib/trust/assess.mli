@@ -1,0 +1,48 @@
+(** Risk assessment over presented audit certificates (Sect. 6).
+
+    "Each party may then take a calculated risk on whether to proceed ...
+    The domain of the auditing service for a certificate is a factor that
+    must be taken into account when assessing the risk."
+
+    The assessor keeps a per-registrar credibility weight, scores a
+    counterparty's presented history with a beta-reputation estimate over
+    validated certificates, and proceeds when the score clears a threshold.
+    When an interaction's actual outcome contradicts what the presented
+    history predicted, the registrars that vouched are discounted — this is
+    the mechanism that defeats collusion through rogue domains, ablated in
+    experiment E8. *)
+
+type t
+
+val create : ?threshold:float -> ?discounting:bool -> unit -> t
+(** Defaults: threshold 0.5, discounting on. *)
+
+val threshold : t -> float
+
+val registrar_weight : t -> Oasis_util.Ident.t -> float
+(** Current credibility of a registrar; 1.0 until evidence accumulates. *)
+
+(** The verdict on one counterparty, with the evidence that produced it. *)
+type verdict = {
+  subject : Oasis_util.Ident.t;
+  score : float;  (** beta estimate in (0, 1); 0.5 with no evidence *)
+  proceed : bool;
+  evidence : (Audit.t * float) list;  (** validated certificates and the weight each carried *)
+  rejected : int;  (** presented certificates that failed validation *)
+}
+
+val assess :
+  t ->
+  validate:(Audit.t -> bool) ->
+  subject:Oasis_util.Ident.t ->
+  presented:Audit.t list ->
+  verdict
+(** [validate] is the callback to the certificate's registrar (the caller
+    routes it; network or direct). Certificates not involving [subject]
+    count as rejected. *)
+
+val feedback : t -> verdict -> actual:Audit.outcome -> unit
+(** After proceeding, report how the counterparty actually behaved. If the
+    history said "trustworthy" and the party breached, every registrar whose
+    certificates vouched is discounted multiplicatively; consistent
+    registrars recover slowly. No-op when discounting is off. *)

@@ -1,0 +1,16 @@
+module Ident = Oasis_util.Ident
+
+type t = { owner : Ident.t; mutable certs : Audit.t list }
+
+let create owner = { owner; certs = [] }
+
+let owner t = t.owner
+
+let add t cert = if Audit.involves cert t.owner then t.certs <- cert :: t.certs
+
+let present t = t.certs
+
+let present_favourable t =
+  List.filter (fun cert -> Audit.outcome_for cert t.owner = Some Audit.Fulfilled) t.certs
+
+let size t = List.length t.certs

@@ -1,0 +1,25 @@
+(** A party's interaction history.
+
+    "Each party will accumulate audit certificates which embody its
+    interaction history" (abstract). Parties present their history when
+    approaching an unknown counterparty; the assessor validates what is
+    presented. A party controls its own wallet — it can withhold
+    unfavourable certificates, which is why assessors also weigh volume and
+    recency ({!Assess}). *)
+
+type t
+
+val create : Oasis_util.Ident.t -> t
+val owner : t -> Oasis_util.Ident.t
+
+val add : t -> Audit.t -> unit
+(** Only certificates involving the owner are kept; others are ignored. *)
+
+val present : t -> Audit.t list
+(** Everything, newest first. *)
+
+val present_favourable : t -> Audit.t list
+(** What a strategic party shows: only certificates where its own outcome is
+    {!Audit.Fulfilled}. *)
+
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/util/ident.ml: Format Hashtbl Int Map Printf Set String

@@ -1,0 +1,1 @@
+lib/util/value.ml: Bool Buffer Float Format Ident Int Printf String

@@ -1,0 +1,15 @@
+type t = { mutable current : float }
+
+let manual ?(start = 0.0) () = { current = start }
+
+let now t = t.current
+
+let advance_to t time =
+  if time < t.current then
+    invalid_arg
+      (Printf.sprintf "Clock.advance_to: %g is before current time %g" time t.current);
+  t.current <- time
+
+let advance_by t delta =
+  if delta < 0.0 then invalid_arg "Clock.advance_by: negative delta";
+  t.current <- t.current +. delta

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Oasis_cert Oasis_core Oasis_policy Oasis_util

@@ -1,0 +1,1 @@
+test/test_active_security.ml: Alcotest Fixtures List Oasis_cert Oasis_core Oasis_policy Oasis_util

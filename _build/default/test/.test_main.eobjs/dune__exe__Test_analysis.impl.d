@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Format List Oasis_policy String

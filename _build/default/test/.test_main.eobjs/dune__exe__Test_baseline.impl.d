@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest List Oasis_baseline Oasis_util Printf

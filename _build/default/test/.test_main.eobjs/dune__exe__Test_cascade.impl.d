@@ -1,0 +1,1 @@
+test/test_cascade.ml: Alcotest Array Fixtures List Oasis_cert Oasis_core Oasis_event Oasis_util Printf

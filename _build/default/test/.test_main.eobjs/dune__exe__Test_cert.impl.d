@@ -1,0 +1,1 @@
+test/test_cert.ml: Alcotest List Oasis_cert Oasis_crypto Oasis_util String

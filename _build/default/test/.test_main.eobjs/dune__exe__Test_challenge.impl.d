@@ -1,0 +1,1 @@
+test/test_challenge.ml: Alcotest Int64 Oasis_crypto Oasis_util String

@@ -1,0 +1,1 @@
+test/test_civ.ml: Alcotest Array List Oasis_cert Oasis_core Oasis_domain Oasis_sim Oasis_util Printf String

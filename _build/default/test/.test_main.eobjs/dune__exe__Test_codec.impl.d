@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Char Float Gen List Oasis_cert Oasis_crypto Oasis_util Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_domain.ml: Alcotest Format List Oasis_cert Oasis_core Oasis_domain Oasis_policy Oasis_util Option String

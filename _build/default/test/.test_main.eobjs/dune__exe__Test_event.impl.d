@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest List Oasis_event Oasis_sim Oasis_util Printf

@@ -1,0 +1,1 @@
+test/test_hmac.ml: Alcotest Oasis_crypto QCheck String

@@ -1,0 +1,1 @@
+test/test_ident.ml: Alcotest List Oasis_util

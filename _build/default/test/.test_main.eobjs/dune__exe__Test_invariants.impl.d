@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Buffer Hashtbl List Oasis_cert Oasis_core Oasis_domain Oasis_policy Oasis_util Printf QCheck Seq String

@@ -1,0 +1,1 @@
+test/test_lossy.ml: Alcotest Oasis_cert Oasis_core Oasis_sim Printf

@@ -1,0 +1,1 @@
+test/test_modp.ml: Alcotest Int64 List Oasis_crypto Oasis_util

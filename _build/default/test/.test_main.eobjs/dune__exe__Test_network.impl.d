@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest List Oasis_sim Oasis_util Printf

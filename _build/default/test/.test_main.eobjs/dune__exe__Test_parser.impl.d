@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List Oasis_policy Oasis_util

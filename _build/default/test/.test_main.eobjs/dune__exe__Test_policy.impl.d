@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Format List Oasis_policy Oasis_util Option String

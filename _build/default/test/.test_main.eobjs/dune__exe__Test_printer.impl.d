@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest List Oasis_policy Oasis_util QCheck String

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Bytes Fun Int64 List Oasis_util

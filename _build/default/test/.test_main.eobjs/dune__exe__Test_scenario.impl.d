@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest List Oasis_policy Oasis_script String

@@ -1,0 +1,1 @@
+test/test_sealed.ml: Alcotest Bytes Char Gen List Oasis_crypto Oasis_util QCheck String

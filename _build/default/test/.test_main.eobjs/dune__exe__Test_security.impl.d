@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Fixtures List Oasis_cert Oasis_core Oasis_crypto Oasis_policy Oasis_sim Oasis_util

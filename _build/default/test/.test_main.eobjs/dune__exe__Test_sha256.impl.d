@@ -1,0 +1,1 @@
+test/test_sha256.ml: Alcotest Char Gen List Oasis_crypto Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_solve.ml: Alcotest List Oasis_policy Oasis_util Option Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_trust.ml: Alcotest List Oasis_trust Oasis_util Printf

@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest List Oasis_cert Oasis_core Oasis_domain Oasis_policy Oasis_sim Oasis_trust Oasis_util String

@@ -1,0 +1,123 @@
+(* Static policy analysis: reachability, dead roles, cycles, typos. *)
+
+module Analysis = Oasis_policy.Analysis
+module Parser = Oasis_policy.Parser
+
+let policy name ?kinds src =
+  Analysis.of_statements ~name ?appointment_kinds:kinds (Parser.parse_exn src)
+
+let spair : (string * string) Alcotest.testable = Alcotest.(pair string string)
+
+let test_simple_reachability () =
+  let hospital =
+    policy "hospital" ~kinds:[ "employee"; "qualified" ]
+      {|
+        initial logged_in(u) <- appt:employee(u);
+        doctor(u) <- *logged_in(u), appt:qualified(u);
+        consultant(u) <- doctor(u), appt:fellowship(u);
+        priv read(u) <- doctor(u);
+        priv sign(u) <- consultant(u);
+      |}
+  in
+  let report = Analysis.analyse [ hospital ] in
+  Alcotest.(check (list spair)) "reachable"
+    [ ("hospital", "doctor"); ("hospital", "logged_in") ]
+    report.Analysis.reachable_roles;
+  (* consultant needs a fellowship appointment the hospital cannot issue. *)
+  Alcotest.(check (list spair)) "dead" [ ("hospital", "consultant") ] report.Analysis.dead_roles;
+  Alcotest.(check (list spair)) "grantable" [ ("hospital", "read") ]
+    report.Analysis.grantable_privileges;
+  Alcotest.(check (list spair)) "dead privs" [ ("hospital", "sign") ]
+    report.Analysis.dead_privileges;
+  (* The dangling fellowship reference is reported. *)
+  Alcotest.(check bool) "unknown appointment flagged" true
+    (List.exists
+       (function Analysis.Unknown_appointment { kind = "fellowship"; _ } -> true | _ -> false)
+       report.Analysis.unresolved)
+
+let test_held_appointments_matter () =
+  let hospital =
+    policy "hospital" ~kinds:[ "employee"; "qualified" ]
+      {|
+        initial logged_in(u) <- appt:employee(u);
+        doctor(u) <- *logged_in(u), appt:qualified(u);
+      |}
+  in
+  let report =
+    Analysis.analyse ~held_appointments:[ ("hospital", "employee") ] [ hospital ]
+  in
+  Alcotest.(check (list spair)) "only login reachable" [ ("hospital", "logged_in") ]
+    report.Analysis.reachable_roles;
+  Alcotest.(check bool) "doctor not flagged unresolved" true
+    (report.Analysis.unresolved = [])
+
+let test_cross_service_reachability () =
+  let a = policy "a" ~kinds:[ "card" ] "initial base(u) <- appt:card(u);" in
+  let b = policy "b" "derived(u) <- base(u)@a;" in
+  let report = Analysis.analyse [ a; b ] in
+  Alcotest.(check (list spair)) "both reachable" [ ("a", "base"); ("b", "derived") ]
+    report.Analysis.reachable_roles
+
+let test_unknown_service_and_role () =
+  let a = policy "a" "r(u) <- ghost(u)@nowhere, real(u)@b;" in
+  let b = policy "b" "initial other <- env:eq(1, 1);" in
+  let report = Analysis.analyse [ a; b ] in
+  Alcotest.(check bool) "unknown service" true
+    (List.exists
+       (function Analysis.Unknown_service { service = "nowhere"; _ } -> true | _ -> false)
+       report.Analysis.unresolved);
+  Alcotest.(check bool) "unknown role" true
+    (List.exists
+       (function
+         | Analysis.Unknown_role { service = "b"; role = "real"; _ } -> true | _ -> false)
+       report.Analysis.unresolved);
+  Alcotest.(check (list spair)) "r is dead" [ ("a", "r") ] report.Analysis.dead_roles
+
+let test_cycle_detection () =
+  let a =
+    policy "a"
+      {|
+        initial seed <- env:eq(1, 1);
+        x(u) <- y(u);
+        y(u) <- x(u);
+      |}
+  in
+  let report = Analysis.analyse [ a ] in
+  Alcotest.(check int) "one cycle" 1 (List.length report.Analysis.prereq_cycles);
+  (match report.Analysis.prereq_cycles with
+  | [ cycle ] ->
+      Alcotest.(check (list spair)) "members" [ ("a", "x"); ("a", "y") ] (List.sort compare cycle)
+  | _ -> Alcotest.fail "expected one cycle");
+  (* Cyclic roles are also dead: neither can be activated first. *)
+  Alcotest.(check bool) "cycle implies dead" true
+    (List.mem ("a", "x") report.Analysis.dead_roles && List.mem ("a", "y") report.Analysis.dead_roles)
+
+let test_self_loop () =
+  let a = policy "a" "x(u) <- x(u);" in
+  let report = Analysis.analyse [ a ] in
+  Alcotest.(check int) "self-loop is a cycle" 1 (List.length report.Analysis.prereq_cycles)
+
+let test_constraints_assumed_satisfiable () =
+  let a = policy "a" "initial gated <- env:impossible(1);" in
+  let report = Analysis.analyse [ a ] in
+  Alcotest.(check (list spair)) "env constraints don't kill reachability" [ ("a", "gated") ]
+    report.Analysis.reachable_roles
+
+let test_pp_smoke () =
+  let a = policy "a" "initial r <- env:eq(1, 1);" in
+  let report = Analysis.analyse [ a ] in
+  Alcotest.(check bool) "prints" true
+    (String.length (Format.asprintf "%a" Analysis.pp_report report) > 0)
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "simple reachability" `Quick test_simple_reachability;
+      Alcotest.test_case "held appointments" `Quick test_held_appointments_matter;
+      Alcotest.test_case "cross-service" `Quick test_cross_service_reachability;
+      Alcotest.test_case "unknown refs" `Quick test_unknown_service_and_role;
+      Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+      Alcotest.test_case "self loop" `Quick test_self_loop;
+      Alcotest.test_case "constraints satisfiable" `Quick test_constraints_assumed_satisfiable;
+      Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+    ] )

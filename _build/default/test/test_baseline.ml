@@ -1,0 +1,229 @@
+(* The comparison baselines: RBAC96, RBDM0 delegation, plain ACLs. *)
+
+module Rbac96 = Oasis_baseline.Rbac96
+module Delegation = Oasis_baseline.Delegation
+module Acl = Oasis_baseline.Acl
+module Ident = Oasis_util.Ident
+
+let user n = Ident.make "user" n
+
+let perm op target = { Rbac96.operation = op; target }
+
+(* ---------------- RBAC96 ---------------- *)
+
+let hospital_rbac () =
+  let r = Rbac96.create () in
+  Rbac96.add_role r "employee";
+  Rbac96.add_role r "doctor";
+  Rbac96.add_role r "consultant";
+  Rbac96.add_inheritance r ~senior:"doctor" ~junior:"employee";
+  Rbac96.add_inheritance r ~senior:"consultant" ~junior:"doctor";
+  Rbac96.grant_permission r "employee" (perm "enter" "building");
+  Rbac96.grant_permission r "doctor" (perm "read" "records");
+  Rbac96.grant_permission r "consultant" (perm "sign" "discharge");
+  r
+
+let test_hierarchy_inheritance () =
+  let r = hospital_rbac () in
+  Rbac96.add_user r (user 1);
+  Rbac96.assign_user r (user 1) "consultant";
+  Alcotest.(check (list string)) "authorized closure" [ "consultant"; "doctor"; "employee" ]
+    (List.sort compare (Rbac96.authorized_roles r (user 1)));
+  let s = Rbac96.create_session r (user 1) in
+  (match Rbac96.activate_role r s "doctor" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "junior perm via hierarchy" true
+    (Rbac96.check r s (perm "enter" "building"));
+  Alcotest.(check bool) "senior perm not via junior activation" false
+    (Rbac96.check r s (perm "sign" "discharge"))
+
+let test_activation_requires_authorization () =
+  let r = hospital_rbac () in
+  Rbac96.add_user r (user 2);
+  Rbac96.assign_user r (user 2) "employee";
+  let s = Rbac96.create_session r (user 2) in
+  (match Rbac96.activate_role r s "doctor" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "employee became doctor");
+  match Rbac96.activate_role r s "employee" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_deassign_reaches_sessions () =
+  let r = hospital_rbac () in
+  Rbac96.add_user r (user 3);
+  Rbac96.assign_user r (user 3) "doctor";
+  let s = Rbac96.create_session r (user 3) in
+  (match Rbac96.activate_role r s "doctor" with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "has perm" true (Rbac96.check r s (perm "read" "records"));
+  Rbac96.deassign_user r (user 3) "doctor";
+  Alcotest.(check bool) "perm gone from live session" false
+    (Rbac96.check r s (perm "read" "records"))
+
+let test_cycle_detection () =
+  let r = hospital_rbac () in
+  Alcotest.(check bool) "cycle raises" true
+    (match Rbac96.add_inheritance r ~senior:"employee" ~junior:"consultant" with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_ssd () =
+  let r = Rbac96.create () in
+  Rbac96.add_role r "payer";
+  Rbac96.add_role r "approver";
+  Rbac96.add_ssd r "payer" "approver";
+  Rbac96.add_user r (user 4);
+  Rbac96.assign_user r (user 4) "payer";
+  Alcotest.(check bool) "ssd blocks second role" true
+    (match Rbac96.assign_user r (user 4) "approver" with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  (* Installing SSD over an existing violation is refused. *)
+  let r2 = Rbac96.create () in
+  Rbac96.add_role r2 "a";
+  Rbac96.add_role r2 "b";
+  Rbac96.add_user r2 (user 5);
+  Rbac96.assign_user r2 (user 5) "a";
+  Rbac96.assign_user r2 (user 5) "b";
+  Alcotest.(check bool) "existing violation refused" true
+    (match Rbac96.add_ssd r2 "a" "b" with () -> false | exception Invalid_argument _ -> true)
+
+let test_admin_op_counting () =
+  let r = Rbac96.create () in
+  let before = Rbac96.admin_ops r in
+  Rbac96.add_role r "x";
+  Rbac96.add_role r "x";
+  (* idempotent: only one op *)
+  Rbac96.add_user r (user 6);
+  Rbac96.assign_user r (user 6) "x";
+  Rbac96.assign_user r (user 6) "x";
+  Alcotest.(check int) "idempotent ops uncounted" 3 (Rbac96.admin_ops r - before)
+
+let test_users_of_role () =
+  let r = hospital_rbac () in
+  Rbac96.add_user r (user 7);
+  Rbac96.add_user r (user 8);
+  Rbac96.assign_user r (user 7) "doctor";
+  Rbac96.assign_user r (user 8) "doctor";
+  Alcotest.(check int) "two doctors" 2 (List.length (Rbac96.users_of_role r "doctor"));
+  Alcotest.(check int) "counts" 2 (Rbac96.user_count r);
+  Alcotest.(check int) "roles" 3 (Rbac96.role_count r)
+
+(* ---------------- Delegation (RBDM0) ---------------- *)
+
+let delegation_world () =
+  let r = hospital_rbac () in
+  Rbac96.add_user r (user 1);
+  Rbac96.assign_user r (user 1) "doctor";
+  List.iter (fun i -> Rbac96.add_user r (user i)) [ 2; 3; 4; 5 ];
+  (r, Delegation.create r ~max_depth:3)
+
+let test_delegation_chain () =
+  let _, d = delegation_world () in
+  (match Delegation.delegate d ~from_user:(user 1) ~to_user:(user 2) ~role:"doctor" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Delegation.delegate d ~from_user:(user 2) ~to_user:(user 3) ~role:"doctor" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "delegatee is member" true (Delegation.is_member d (user 3) "doctor");
+  Alcotest.(check int) "depth" 2 (Delegation.chain_depth d (user 3) "doctor");
+  Alcotest.(check int) "original depth" 0 (Delegation.chain_depth d (user 1) "doctor")
+
+let test_delegation_requires_membership () =
+  let _, d = delegation_world () in
+  match Delegation.delegate d ~from_user:(user 4) ~to_user:(user 5) ~role:"doctor" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-member delegated"
+
+let test_delegation_depth_limit () =
+  let _, d = delegation_world () in
+  ignore (Delegation.delegate d ~from_user:(user 1) ~to_user:(user 2) ~role:"doctor");
+  ignore (Delegation.delegate d ~from_user:(user 2) ~to_user:(user 3) ~role:"doctor");
+  ignore (Delegation.delegate d ~from_user:(user 3) ~to_user:(user 4) ~role:"doctor");
+  match Delegation.delegate d ~from_user:(user 4) ~to_user:(user 5) ~role:"doctor" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "depth limit ignored"
+
+let test_delegation_no_double_grant () =
+  let _, d = delegation_world () in
+  ignore (Delegation.delegate d ~from_user:(user 1) ~to_user:(user 2) ~role:"doctor");
+  match Delegation.delegate d ~from_user:(user 1) ~to_user:(user 2) ~role:"doctor" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double delegation"
+
+let test_cascading_revocation () =
+  let _, d = delegation_world () in
+  ignore (Delegation.delegate d ~from_user:(user 1) ~to_user:(user 2) ~role:"doctor");
+  ignore (Delegation.delegate d ~from_user:(user 2) ~to_user:(user 3) ~role:"doctor");
+  ignore (Delegation.delegate d ~from_user:(user 3) ~to_user:(user 4) ~role:"doctor");
+  let torn = Delegation.revoke d ~from_user:(user 1) ~to_user:(user 2) ~role:"doctor" in
+  Alcotest.(check int) "blast radius = whole chain" 3 torn;
+  Alcotest.(check bool) "tail lost role" false (Delegation.is_member d (user 4) "doctor");
+  Alcotest.(check int) "no delegations left" 0 (Delegation.delegation_count d)
+
+let test_revoke_all_from () =
+  let _, d = delegation_world () in
+  ignore (Delegation.delegate d ~from_user:(user 1) ~to_user:(user 2) ~role:"doctor");
+  ignore (Delegation.delegate d ~from_user:(user 1) ~to_user:(user 3) ~role:"doctor");
+  ignore (Delegation.delegate d ~from_user:(user 3) ~to_user:(user 4) ~role:"doctor");
+  Alcotest.(check int) "three torn down" 3 (Delegation.revoke_all_from d (user 1) "doctor")
+
+(* ---------------- ACL ---------------- *)
+
+let test_acl_basic () =
+  let a = Acl.create () in
+  Acl.add_object a "record-1";
+  Acl.grant a ~principal:(user 1) ~obj:"record-1" ~operation:"read";
+  Alcotest.(check bool) "granted" true (Acl.check a ~principal:(user 1) ~obj:"record-1" ~operation:"read");
+  Alcotest.(check bool) "other op" false
+    (Acl.check a ~principal:(user 1) ~obj:"record-1" ~operation:"write");
+  Acl.revoke a ~principal:(user 1) ~obj:"record-1" ~operation:"read";
+  Alcotest.(check bool) "revoked" false
+    (Acl.check a ~principal:(user 1) ~obj:"record-1" ~operation:"read")
+
+let test_acl_offboard_blast_radius () =
+  let a = Acl.create () in
+  for i = 1 to 50 do
+    let obj = Printf.sprintf "record-%d" i in
+    Acl.add_object a obj;
+    Acl.grant a ~principal:(user 1) ~obj ~operation:"read";
+    Acl.grant a ~principal:(user 2) ~obj ~operation:"read"
+  done;
+  Alcotest.(check int) "entries" 100 (Acl.entry_count a);
+  let touched = Acl.offboard a (user 1) in
+  Alcotest.(check int) "offboarding touches every object" 50 touched;
+  Alcotest.(check int) "entries after" 50 (Acl.entry_count a);
+  Alcotest.(check bool) "other user intact" true
+    (Acl.check a ~principal:(user 2) ~obj:"record-9" ~operation:"read")
+
+let test_acl_unknown_object () =
+  let a = Acl.create () in
+  Alcotest.(check bool) "grant raises" true
+    (match Acl.grant a ~principal:(user 1) ~obj:"ghost" ~operation:"read" with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "check false" false
+    (Acl.check a ~principal:(user 1) ~obj:"ghost" ~operation:"read")
+
+let suite =
+  ( "baseline",
+    [
+      Alcotest.test_case "rbac hierarchy" `Quick test_hierarchy_inheritance;
+      Alcotest.test_case "rbac activation" `Quick test_activation_requires_authorization;
+      Alcotest.test_case "rbac deassign" `Quick test_deassign_reaches_sessions;
+      Alcotest.test_case "rbac cycle" `Quick test_cycle_detection;
+      Alcotest.test_case "rbac ssd" `Quick test_ssd;
+      Alcotest.test_case "rbac op counting" `Quick test_admin_op_counting;
+      Alcotest.test_case "rbac users_of_role" `Quick test_users_of_role;
+      Alcotest.test_case "delegation chain" `Quick test_delegation_chain;
+      Alcotest.test_case "delegation membership" `Quick test_delegation_requires_membership;
+      Alcotest.test_case "delegation depth" `Quick test_delegation_depth_limit;
+      Alcotest.test_case "delegation no double" `Quick test_delegation_no_double_grant;
+      Alcotest.test_case "cascading revocation" `Quick test_cascading_revocation;
+      Alcotest.test_case "revoke_all_from" `Quick test_revoke_all_from;
+      Alcotest.test_case "acl basic" `Quick test_acl_basic;
+      Alcotest.test_case "acl offboard" `Quick test_acl_offboard_blast_radius;
+      Alcotest.test_case "acl unknown object" `Quick test_acl_unknown_object;
+    ] )

@@ -1,0 +1,104 @@
+(* The ISO/9798-style challenge-response protocol and the ElGamal layer. *)
+
+module Elgamal = Oasis_crypto.Elgamal
+module Challenge = Oasis_crypto.Challenge
+module Modp = Oasis_crypto.Modp
+module Rng = Oasis_util.Rng
+
+let test_elgamal_roundtrip () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 50 do
+    let kp = Elgamal.generate rng in
+    let m = Modp.random rng in
+    let c = Elgamal.encrypt rng kp.Elgamal.public m in
+    Alcotest.(check int64) "decrypt" m (Elgamal.decrypt kp.Elgamal.private_key c)
+  done
+
+let test_elgamal_wrong_key () =
+  let rng = Rng.create 2 in
+  let kp1 = Elgamal.generate rng and kp2 = Elgamal.generate rng in
+  let m = 123456789L in
+  let c = Elgamal.encrypt rng kp1.Elgamal.public m in
+  Alcotest.(check bool) "wrong key garbles" false
+    (Int64.equal m (Elgamal.decrypt kp2.Elgamal.private_key c))
+
+let test_elgamal_probabilistic () =
+  let rng = Rng.create 3 in
+  let kp = Elgamal.generate rng in
+  let c1 = Elgamal.encrypt rng kp.Elgamal.public 42L in
+  let c2 = Elgamal.encrypt rng kp.Elgamal.public 42L in
+  Alcotest.(check bool) "fresh randomness per encryption" false
+    (c1.Elgamal.c1 = c2.Elgamal.c1 && c1.Elgamal.c2 = c2.Elgamal.c2)
+
+let test_public_string_roundtrip () =
+  let rng = Rng.create 4 in
+  let kp = Elgamal.generate rng in
+  (match Elgamal.public_of_string (Elgamal.public_to_string kp.Elgamal.public) with
+  | Some p -> Alcotest.(check int64) "roundtrip" kp.Elgamal.public p
+  | None -> Alcotest.fail "parse failed");
+  Alcotest.(check bool) "garbage rejected" true (Elgamal.public_of_string "nonsense" = None);
+  Alcotest.(check bool) "zero rejected" true (Elgamal.public_of_string "0" = None);
+  Alcotest.(check bool) "p rejected" true
+    (Elgamal.public_of_string (Int64.to_string Modp.p) = None)
+
+let test_proves () =
+  let rng = Rng.create 5 in
+  let kp1 = Elgamal.generate rng and kp2 = Elgamal.generate rng in
+  Alcotest.(check bool) "own key" true (Elgamal.proves kp1.Elgamal.private_key kp1.Elgamal.public);
+  Alcotest.(check bool) "other key" false
+    (Elgamal.proves kp1.Elgamal.private_key kp2.Elgamal.public)
+
+let test_challenge_success () =
+  let rng = Rng.create 6 in
+  let kp = Elgamal.generate rng in
+  let challenge, pending = Challenge.issue rng kp.Elgamal.public in
+  let response = Challenge.respond kp.Elgamal.private_key challenge in
+  Alcotest.(check bool) "accepted" true (Challenge.check pending response)
+
+let test_challenge_wrong_key_fails () =
+  let rng = Rng.create 7 in
+  let kp = Elgamal.generate rng and thief = Elgamal.generate rng in
+  let challenge, pending = Challenge.issue rng kp.Elgamal.public in
+  let response = Challenge.respond thief.Elgamal.private_key challenge in
+  Alcotest.(check bool) "rejected" false (Challenge.check pending response)
+
+let test_challenge_single_use () =
+  let rng = Rng.create 8 in
+  let kp = Elgamal.generate rng in
+  let challenge, pending = Challenge.issue rng kp.Elgamal.public in
+  let response = Challenge.respond kp.Elgamal.private_key challenge in
+  Alcotest.(check bool) "first check" true (Challenge.check pending response);
+  Alcotest.(check bool) "replay rejected" false (Challenge.check pending response)
+
+let test_challenge_garbage_fails () =
+  let rng = Rng.create 9 in
+  let kp = Elgamal.generate rng in
+  let _, pending = Challenge.issue rng kp.Elgamal.public in
+  Alcotest.(check bool) "garbage rejected" false (Challenge.check pending "not a response");
+  let _, pending2 = Challenge.issue rng kp.Elgamal.public in
+  Alcotest.(check bool) "empty rejected" false (Challenge.check pending2 "")
+
+let test_challenge_nonce_binds () =
+  (* A response computed against a different nonce must fail even with the
+     right private key. *)
+  let rng = Rng.create 10 in
+  let kp = Elgamal.generate rng in
+  let challenge, pending = Challenge.issue rng kp.Elgamal.public in
+  let tampered = { challenge with Challenge.nonce = String.make 16 'x' } in
+  let response = Challenge.respond kp.Elgamal.private_key tampered in
+  Alcotest.(check bool) "nonce mismatch rejected" false (Challenge.check pending response)
+
+let suite =
+  ( "challenge",
+    [
+      Alcotest.test_case "elgamal roundtrip" `Quick test_elgamal_roundtrip;
+      Alcotest.test_case "elgamal wrong key" `Quick test_elgamal_wrong_key;
+      Alcotest.test_case "elgamal probabilistic" `Quick test_elgamal_probabilistic;
+      Alcotest.test_case "public key string" `Quick test_public_string_roundtrip;
+      Alcotest.test_case "proves" `Quick test_proves;
+      Alcotest.test_case "challenge success" `Quick test_challenge_success;
+      Alcotest.test_case "wrong key fails" `Quick test_challenge_wrong_key_fails;
+      Alcotest.test_case "single use" `Quick test_challenge_single_use;
+      Alcotest.test_case "garbage fails" `Quick test_challenge_garbage_fails;
+      Alcotest.test_case "nonce binds" `Quick test_challenge_nonce_binds;
+    ] )

@@ -1,0 +1,186 @@
+(* Certificate marshalling: round trips and adversarial bytes. *)
+
+module Codec = Oasis_cert.Codec
+module Rmc = Oasis_cert.Rmc
+module Appointment = Oasis_cert.Appointment
+module Secret = Oasis_crypto.Secret
+module Sha256 = Oasis_crypto.Sha256
+module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
+
+let secret = Secret.of_string "codec-secret-0123456789abcdef012"
+
+(* qcheck generators for certificate contents *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Value.Int n) small_signed_int;
+        map (fun s -> Value.Str s) (string_size (int_bound 20));
+        map (fun b -> Value.Bool b) bool;
+        map (fun f -> Value.Time (float_of_int f /. 8.0)) (int_bound 10_000);
+        map2 (fun t n -> Value.Id (Ident.make ("t" ^ string_of_int t) n)) (int_bound 5) (int_bound 1000);
+      ])
+
+let rmc_gen =
+  QCheck.Gen.(
+    map
+      (fun (idn, issn, role, args, t, key) ->
+        Rmc.issue ~secret ~principal_key:key ~id:(Ident.make "cert" idn)
+          ~issuer:(Ident.make "service" issn) ~role ~args
+          ~issued_at:(float_of_int t /. 4.0))
+      (tup6 (int_bound 10_000) (int_bound 100) (string_size ~gen:(char_range 'a' 'z') (int_range 1 15))
+         (list_size (int_bound 6) value_gen)
+         (int_bound 100_000) (string_size (int_bound 40))))
+
+let appt_gen =
+  QCheck.Gen.(
+    map
+      (fun (idn, kind, args, holder, epoch, expiry) ->
+        Appointment.issue ~master_secret:secret ~epoch ~id:(Ident.make "cert" idn)
+          ~issuer:(Ident.make "service" 7) ~kind ~args ~holder ~issued_at:1.0
+          ?expires_at:(if expiry = 0 then None else Some (float_of_int expiry))
+          ())
+      (tup6 (int_bound 10_000) (string_size ~gen:(char_range 'a' 'z') (int_range 1 15))
+         (list_size (int_bound 6) value_gen)
+         (string_size (int_bound 30))
+         (int_bound 5) (int_bound 1000)))
+
+let rmc_equal (a : Rmc.t) (b : Rmc.t) =
+  Ident.equal a.id b.id && Ident.equal a.issuer b.issuer && String.equal a.role b.role
+  && List.length a.args = List.length b.args
+  && List.for_all2 Value.equal a.args b.args
+  && Float.equal a.issued_at b.issued_at
+  && Sha256.equal a.signature b.signature
+
+let appt_equal (a : Appointment.t) (b : Appointment.t) =
+  Ident.equal a.id b.id && Ident.equal a.issuer b.issuer && String.equal a.kind b.kind
+  && List.for_all2 Value.equal a.args b.args
+  && String.equal a.holder b.holder
+  && Float.equal a.issued_at b.issued_at
+  && a.expires_at = b.expires_at && a.epoch = b.epoch
+  && Sha256.equal a.signature b.signature
+
+let test_rmc_roundtrip () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"rmc roundtrip" (QCheck.make rmc_gen) (fun rmc ->
+         match Codec.rmc_of_string (Codec.rmc_to_string rmc) with
+         | Ok decoded -> rmc_equal rmc decoded
+         | Error _ -> false))
+
+let test_appt_roundtrip () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"appt roundtrip" (QCheck.make appt_gen) (fun appt ->
+         match Codec.appointment_of_string (Codec.appointment_to_string appt) with
+         | Ok decoded -> appt_equal appt decoded
+         | Error _ -> false))
+
+let test_roundtrip_preserves_verification () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"decoded rmc verifies" (QCheck.make rmc_gen) (fun rmc ->
+         (* Verification must not depend on in-memory provenance. *)
+         match Codec.rmc_of_string (Codec.rmc_to_string rmc) with
+         | Ok decoded ->
+             Rmc.verify ~secret ~principal_key:"k" decoded
+             = Rmc.verify ~secret ~principal_key:"k" rmc
+         | Error _ -> false))
+
+let test_decoder_total_on_truncation () =
+  let sample =
+    Codec.rmc_to_string
+      (Rmc.issue ~secret ~principal_key:"k" ~id:(Ident.make "cert" 1)
+         ~issuer:(Ident.make "service" 1) ~role:"doctor"
+         ~args:[ Value.Int 1; Value.Str "x" ]
+         ~issued_at:3.0)
+  in
+  for len = 0 to String.length sample - 1 do
+    match Codec.rmc_of_string (String.sub sample 0 len) with
+    | Ok _ -> Alcotest.failf "truncation to %d decoded" len
+    | Error _ -> ()
+  done
+
+let test_decoder_total_on_mutation () =
+  (* Byte flips either decode to different fields or error — never raise.
+     (Signature bytes may flip without breaking framing; verification is
+     what catches that, not the decoder.) *)
+  let sample =
+    Codec.appointment_to_string
+      (Appointment.issue ~master_secret:secret ~epoch:1 ~id:(Ident.make "cert" 2)
+         ~issuer:(Ident.make "service" 1) ~kind:"member"
+         ~args:[ Value.Bool true ]
+         ~holder:"h" ~issued_at:0.0 ~expires_at:9.0 ())
+  in
+  for i = 0 to String.length sample - 1 do
+    let mutated = Bytes.of_string sample in
+    Bytes.set mutated i (Char.chr ((Char.code sample.[i] + 1) land 0xff));
+    ignore (Codec.appointment_of_string (Bytes.to_string mutated))
+  done
+
+let test_decoder_random_garbage () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:500 ~name:"garbage never raises"
+       QCheck.(string_of_size Gen.(int_bound 300))
+       (fun s ->
+         (match Codec.rmc_of_string s with Ok _ | Error _ -> ());
+         (match Codec.appointment_of_string s with Ok _ | Error _ -> ());
+         true))
+
+let test_kind_confusion_rejected () =
+  (* An appointment's bytes must not decode as an RMC. *)
+  let appt_bytes =
+    Codec.appointment_to_string
+      (Appointment.issue ~master_secret:secret ~epoch:0 ~id:(Ident.make "cert" 3)
+         ~issuer:(Ident.make "service" 1) ~kind:"member" ~args:[] ~holder:"h" ~issued_at:0.0 ())
+  in
+  (match Codec.rmc_of_string appt_bytes with
+  | Ok _ -> Alcotest.fail "kind confusion"
+  | Error _ -> ());
+  let rmc_bytes =
+    Codec.rmc_to_string
+      (Rmc.issue ~secret ~principal_key:"k" ~id:(Ident.make "cert" 4)
+         ~issuer:(Ident.make "service" 1) ~role:"r" ~args:[] ~issued_at:0.0)
+  in
+  match Codec.appointment_of_string rmc_bytes with
+  | Ok _ -> Alcotest.fail "kind confusion"
+  | Error _ -> ()
+
+let test_trailing_bytes_rejected () =
+  let sample =
+    Codec.rmc_to_string
+      (Rmc.issue ~secret ~principal_key:"k" ~id:(Ident.make "cert" 5)
+         ~issuer:(Ident.make "service" 1) ~role:"r" ~args:[] ~issued_at:0.0)
+  in
+  match Codec.rmc_of_string (sample ^ "extra") with
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+  | Error _ -> ()
+
+let test_size_matches_encoding () =
+  let rmc =
+    Rmc.issue ~secret ~principal_key:"k" ~id:(Ident.make "cert" 6)
+      ~issuer:(Ident.make "service" 1) ~role:"doctor"
+      ~args:[ Value.Int 1 ]
+      ~issued_at:0.0
+  in
+  (* size_bytes = fields + 32-byte signature; the codec encodes the signature
+     as a string field (a few bytes of framing). They must agree closely. *)
+  let encoded = String.length (Codec.rmc_to_string rmc) in
+  let claimed = Rmc.size_bytes rmc in
+  Alcotest.(check bool)
+    (Printf.sprintf "within framing slack (%d vs %d)" encoded claimed)
+    true
+    (abs (encoded - claimed) < 16)
+
+let suite =
+  ( "codec",
+    [
+      Alcotest.test_case "rmc roundtrip (qcheck)" `Quick test_rmc_roundtrip;
+      Alcotest.test_case "appt roundtrip (qcheck)" `Quick test_appt_roundtrip;
+      Alcotest.test_case "verification invariant" `Quick test_roundtrip_preserves_verification;
+      Alcotest.test_case "truncation totality" `Quick test_decoder_total_on_truncation;
+      Alcotest.test_case "mutation totality" `Quick test_decoder_total_on_mutation;
+      Alcotest.test_case "garbage totality (qcheck)" `Quick test_decoder_random_garbage;
+      Alcotest.test_case "kind confusion" `Quick test_kind_confusion_rejected;
+      Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes_rejected;
+      Alcotest.test_case "size accounting" `Quick test_size_matches_encoding;
+    ] )

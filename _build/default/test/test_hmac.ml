@@ -1,0 +1,69 @@
+(* RFC 4231 test vectors for HMAC-SHA256. *)
+
+module Hmac = Oasis_crypto.Hmac
+module Sha256 = Oasis_crypto.Sha256
+
+let check_mac name ~key ~msg expected =
+  Alcotest.(check string) name expected (Sha256.to_hex (Hmac.mac ~key msg))
+
+let test_rfc4231_case1 () =
+  check_mac "case 1"
+    ~key:(String.make 20 '\x0b')
+    ~msg:"Hi There" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+
+let test_rfc4231_case2 () =
+  check_mac "case 2" ~key:"Jefe" ~msg:"what do ya want for nothing?"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+
+let test_rfc4231_case3 () =
+  check_mac "case 3" ~key:(String.make 20 '\xaa') ~msg:(String.make 50 '\xdd')
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+
+let test_rfc4231_case6_long_key () =
+  (* Key longer than the block size: must be hashed down first. *)
+  check_mac "case 6" ~key:(String.make 131 '\xaa')
+    ~msg:"Test Using Larger Than Block-Size Key - Hash Key First"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+
+let test_verify () =
+  let key = "secret" and msg = "message" in
+  let mac = Hmac.mac ~key msg in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key msg mac);
+  Alcotest.(check bool) "rejects wrong msg" false (Hmac.verify ~key "other" mac);
+  Alcotest.(check bool) "rejects wrong key" false (Hmac.verify ~key:"wrong" msg mac)
+
+let test_key_sensitivity () =
+  (* Equal up to padding: "key" and "key\x00" are distinct RFC 2104 keys in
+     principle, but zero-padding makes them collide — document the known
+     HMAC property rather than pretend otherwise. *)
+  let m1 = Hmac.mac ~key:"key" "m" and m2 = Hmac.mac ~key:"key\x00" "m" in
+  Alcotest.(check bool) "zero-pad collision (RFC 2104 property)" true (Sha256.equal m1 m2);
+  let m3 = Hmac.mac ~key:"kez" "m" in
+  Alcotest.(check bool) "different key differs" false (Sha256.equal m1 m3)
+
+let test_derive_key () =
+  let key = "master" in
+  let k1 = Hmac.derive_key ~key "epoch:1" in
+  let k2 = Hmac.derive_key ~key "epoch:2" in
+  Alcotest.(check int) "32-byte subkeys" 32 (String.length k1);
+  Alcotest.(check bool) "labels separate" false (String.equal k1 k2);
+  Alcotest.(check string) "deterministic" k1 (Hmac.derive_key ~key "epoch:1")
+
+let test_qcheck_determinism () =
+  let gen = QCheck.(pair (string_of_size QCheck.Gen.(int_bound 200)) (string_of_size QCheck.Gen.(int_bound 200))) in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"mac deterministic" gen (fun (key, msg) ->
+         Sha256.equal (Hmac.mac ~key msg) (Hmac.mac ~key msg)))
+
+let suite =
+  ( "hmac",
+    [
+      Alcotest.test_case "RFC 4231 case 1" `Quick test_rfc4231_case1;
+      Alcotest.test_case "RFC 4231 case 2" `Quick test_rfc4231_case2;
+      Alcotest.test_case "RFC 4231 case 3" `Quick test_rfc4231_case3;
+      Alcotest.test_case "RFC 4231 case 6 (long key)" `Quick test_rfc4231_case6_long_key;
+      Alcotest.test_case "verify" `Quick test_verify;
+      Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+      Alcotest.test_case "derive_key" `Quick test_derive_key;
+      Alcotest.test_case "determinism (qcheck)" `Quick test_qcheck_determinism;
+    ] )

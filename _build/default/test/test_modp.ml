@@ -1,0 +1,125 @@
+(* Field axioms for GF(2^61 - 1), checked by property testing. *)
+
+module Modp = Oasis_crypto.Modp
+module Rng = Oasis_util.Rng
+
+let elements n =
+  let rng = Rng.create 99 in
+  List.init n (fun _ -> Modp.random rng)
+  @ [ 1L; 2L; Int64.sub Modp.p 1L; Int64.sub Modp.p 2L ]
+
+let test_reduce_canonical () =
+  Alcotest.(check int64) "p reduces to 0" 0L (Modp.of_int64 Modp.p);
+  Alcotest.(check int64) "p+1 reduces to 1" 1L (Modp.of_int64 (Int64.add Modp.p 1L));
+  Alcotest.(check int64) "negative wraps" (Int64.sub Modp.p 1L) (Modp.of_int64 (-1L))
+
+let test_add_sub_inverse () =
+  let xs = elements 30 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let s = Modp.add a b in
+          Alcotest.(check int64) "sub undoes add" a (Modp.sub s b))
+        xs)
+    xs
+
+let test_mul_commutative () =
+  let xs = elements 30 in
+  List.iter
+    (fun a -> List.iter (fun b -> Alcotest.(check int64) "ab=ba" (Modp.mul a b) (Modp.mul b a)) xs)
+    xs
+
+let test_mul_associative () =
+  let xs = elements 12 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              Alcotest.(check int64) "(ab)c=a(bc)"
+                (Modp.mul (Modp.mul a b) c)
+                (Modp.mul a (Modp.mul b c)))
+            xs)
+        xs)
+    xs
+
+let test_distributive () =
+  let xs = elements 12 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              Alcotest.(check int64) "a(b+c)=ab+ac"
+                (Modp.mul a (Modp.add b c))
+                (Modp.add (Modp.mul a b) (Modp.mul a c)))
+            xs)
+        xs)
+    xs
+
+let test_mul_matches_small_reference () =
+  (* For operands below 2^31 the product fits in an int64 exactly. *)
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let a = Int64.of_int (Rng.int rng 0x7FFFFFFF) in
+    let b = Int64.of_int (Rng.int rng 0x7FFFFFFF) in
+    let expected = Int64.rem (Int64.mul a b) Modp.p in
+    Alcotest.(check int64) "small product" expected (Modp.mul a b)
+  done
+
+let test_inverse () =
+  List.iter
+    (fun a -> Alcotest.(check int64) "a * a^-1 = 1" 1L (Modp.mul a (Modp.inv a)))
+    (elements 50)
+
+let test_inv_zero_raises () =
+  Alcotest.check_raises "inv 0" (Invalid_argument "Modp.inv: zero has no inverse") (fun () ->
+      ignore (Modp.inv 0L))
+
+let test_fermat () =
+  List.iter
+    (fun a -> Alcotest.(check int64) "a^(p-1) = 1" 1L (Modp.pow a (Int64.sub Modp.p 1L)))
+    (elements 10)
+
+let test_pow_laws () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    let a = Modp.random rng in
+    let x = Int64.of_int (Rng.int rng 1000) and y = Int64.of_int (Rng.int rng 1000) in
+    Alcotest.(check int64) "a^(x+y) = a^x a^y"
+      (Modp.pow a (Int64.add x y))
+      (Modp.mul (Modp.pow a x) (Modp.pow a y))
+  done
+
+let test_pow_edge () =
+  Alcotest.(check int64) "a^0 = 1" 1L (Modp.pow 12345L 0L);
+  Alcotest.(check int64) "a^1 = a" 12345L (Modp.pow 12345L 1L);
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Modp.pow: negative exponent")
+    (fun () -> ignore (Modp.pow 2L (-1L)))
+
+let test_random_in_range () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 1000 do
+    let x = Modp.random rng in
+    if x <= 0L || x >= Modp.p then Alcotest.failf "out of range: %Ld" x
+  done
+
+let suite =
+  ( "modp",
+    [
+      Alcotest.test_case "canonical reduction" `Quick test_reduce_canonical;
+      Alcotest.test_case "add/sub inverse" `Quick test_add_sub_inverse;
+      Alcotest.test_case "mul commutative" `Quick test_mul_commutative;
+      Alcotest.test_case "mul associative" `Quick test_mul_associative;
+      Alcotest.test_case "distributive" `Quick test_distributive;
+      Alcotest.test_case "small reference" `Quick test_mul_matches_small_reference;
+      Alcotest.test_case "inverse" `Quick test_inverse;
+      Alcotest.test_case "inv zero" `Quick test_inv_zero_raises;
+      Alcotest.test_case "Fermat" `Quick test_fermat;
+      Alcotest.test_case "pow laws" `Quick test_pow_laws;
+      Alcotest.test_case "pow edge cases" `Quick test_pow_edge;
+      Alcotest.test_case "random range" `Quick test_random_in_range;
+    ] )

@@ -1,0 +1,192 @@
+(* The textual policy language. *)
+
+module Parser = Oasis_policy.Parser
+module Rule = Oasis_policy.Rule
+module Term = Oasis_policy.Term
+module Value = Oasis_util.Value
+module Ident = Oasis_util.Ident
+
+let parse_one src =
+  match Parser.parse src with
+  | Ok [ statement ] -> statement
+  | Ok statements -> Alcotest.failf "expected one statement, got %d" (List.length statements)
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let activation src =
+  match parse_one src with
+  | Parser.Activation a -> a
+  | Parser.Authorization _ | Parser.Appointer _ -> Alcotest.fail "expected activation"
+
+let authorization src =
+  match parse_one src with
+  | Parser.Authorization a -> a
+  | Parser.Activation _ | Parser.Appointer _ -> Alcotest.fail "expected authorization"
+
+let test_simple_activation () =
+  let a = activation "doctor(u) <- logged_in(u), appt:qualified(u);" in
+  Alcotest.(check string) "role" "doctor" a.Rule.role;
+  Alcotest.(check int) "params" 1 (List.length a.Rule.params);
+  Alcotest.(check int) "conditions" 2 (List.length a.Rule.conditions);
+  Alcotest.(check (list bool)) "no membership marks" [ false; false ] a.Rule.membership;
+  Alcotest.(check bool) "not initial" false a.Rule.initial
+
+let test_membership_stars () =
+  let a = activation "doctor(u) <- *logged_in(u), appt:qualified(u), *env:on_duty(u);" in
+  Alcotest.(check (list bool)) "marks" [ true; false; true ] a.Rule.membership
+
+let test_initial () =
+  let a = activation "initial logged_in(u) <- appt:employee(u);" in
+  Alcotest.(check bool) "initial" true a.Rule.initial
+
+let test_initial_no_conditions () =
+  let a = activation "initial guest;" in
+  Alcotest.(check bool) "initial" true a.Rule.initial;
+  Alcotest.(check int) "no conditions" 0 (List.length a.Rule.conditions)
+
+let test_service_qualifier () =
+  let a = activation "visiting_doctor(u) <- appt:employed_as_doctor(u)@hospital;" in
+  match a.Rule.conditions with
+  | [ Rule.Appointment { service = Some "hospital"; name = "employed_as_doctor"; _ } ] -> ()
+  | _ -> Alcotest.fail "wrong condition shape"
+
+let test_prereq_service_qualifier () =
+  let a = activation "x(u) <- some_role(u)@national;" in
+  match a.Rule.conditions with
+  | [ Rule.Prereq { service = Some "national"; name = "some_role"; _ } ] -> ()
+  | _ -> Alcotest.fail "wrong condition shape"
+
+let test_env_negation () =
+  let a = activation "t(d, p) <- doctor(d), env:!excluded(d, p);" in
+  match a.Rule.conditions with
+  | [ _; Rule.Constraint ("!excluded", [ Term.Var "d"; Term.Var "p" ]) ] -> ()
+  | _ -> Alcotest.fail "wrong negation parse"
+
+let test_constants () =
+  let a = activation {|r(x) <- env:check(x, 5, "text", true, false, 2.5, svc#3);|} in
+  match a.Rule.conditions with
+  | [ Rule.Constraint ("check", args) ] ->
+      let expected =
+        [
+          Term.Var "x";
+          Term.Const (Value.Int 5);
+          Term.Const (Value.Str "text");
+          Term.Const (Value.Bool true);
+          Term.Const (Value.Bool false);
+          Term.Const (Value.Time 2.5);
+          Term.Const (Value.Id (Ident.make "svc" 3));
+        ]
+      in
+      List.iter2
+        (fun got want -> Alcotest.(check bool) "term" true (Term.equal got want))
+        args expected
+  | _ -> Alcotest.fail "wrong constants parse"
+
+let test_negative_int () =
+  let a = activation "r(x) <- env:check(-5);" in
+  match a.Rule.conditions with
+  | [ Rule.Constraint ("check", [ Term.Const (Value.Int -5) ]) ] -> ()
+  | _ -> Alcotest.fail "negative int"
+
+let test_appoint_rule () =
+  match parse_one "appoint allocated(d, pat) <- screening_nurse(n);" with
+  | Parser.Appointer a ->
+      Alcotest.(check string) "kind" "allocated" a.Rule.privilege;
+      Alcotest.(check int) "args" 2 (List.length a.Rule.priv_args);
+      Alcotest.(check int) "role conditions" 1 (List.length a.Rule.required_roles)
+  | _ -> Alcotest.fail "expected appointer rule"
+
+let test_priv_rule () =
+  let p = authorization "priv read_record(doc, pat) <- treating_doctor(doc, pat), env:!excluded(doc, pat);" in
+  Alcotest.(check string) "privilege" "read_record" p.Rule.privilege;
+  Alcotest.(check int) "roles" 1 (List.length p.Rule.required_roles);
+  Alcotest.(check int) "constraints" 1 (List.length p.Rule.constraints)
+
+let test_priv_rejects_appointments () =
+  match Parser.parse "priv x(u) <- appt:k(u);" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should reject appointment in priv rule"
+
+let test_priv_rejects_stars () =
+  match Parser.parse "priv x(u) <- *r(u);" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should reject membership mark in priv rule"
+
+let test_multiple_statements_and_comments () =
+  let src =
+    {|
+      // hospital policy
+      initial logged_in(u) <- appt:employee(u); // login
+      doctor(u) <- *logged_in(u), appt:qualified(u);
+      priv read(u) <- doctor(u);
+    |}
+  in
+  match Parser.parse src with
+  | Ok statements ->
+      Alcotest.(check int) "three statements" 3 (List.length statements);
+      Alcotest.(check int) "two activations" 2 (List.length (Parser.activations statements));
+      Alcotest.(check int) "one authorization" 1 (List.length (Parser.authorizations statements))
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let expect_error ?line src =
+  match Parser.parse src with
+  | Ok _ -> Alcotest.failf "expected syntax error for %S" src
+  | Error e -> (
+      match line with
+      | Some l -> Alcotest.(check int) "error line" l e.Parser.line
+      | None -> ())
+
+let test_errors () =
+  expect_error "doctor(u <- x(u);";
+  expect_error "doctor(u) <- ;";
+  expect_error "doctor(u) <- x(u)" (* missing terminator *);
+  expect_error "(u) <- x(u);";
+  expect_error {|r(x) <- env:check("unterminated);|};
+  expect_error "r(x) <- env:check(x) extra;";
+  expect_error ~line:3 "r(x) <- a(x);\n// fine\nbroken(((;\n"
+
+let test_initial_with_prereq_rejected () =
+  (* The Rule smart constructor's check surfaces as a parse error. *)
+  expect_error "initial r(u) <- other(u);"
+
+let test_empty_input () =
+  match Parser.parse "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected no statements"
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let test_parse_exn () =
+  Alcotest.(check bool) "raises Failure" true
+    (match Parser.parse_exn "nonsense(((" with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_zero_arity_roles () =
+  let a = activation "boot <- env:eq(1, 1);" in
+  Alcotest.(check string) "role" "boot" a.Rule.role;
+  Alcotest.(check int) "no params" 0 (List.length a.Rule.params);
+  let b = activation "boot() <- env:eq(1, 1);" in
+  Alcotest.(check int) "explicit empty parens" 0 (List.length b.Rule.params)
+
+let suite =
+  ( "parser",
+    [
+      Alcotest.test_case "simple activation" `Quick test_simple_activation;
+      Alcotest.test_case "membership stars" `Quick test_membership_stars;
+      Alcotest.test_case "initial" `Quick test_initial;
+      Alcotest.test_case "initial bare" `Quick test_initial_no_conditions;
+      Alcotest.test_case "service qualifier" `Quick test_service_qualifier;
+      Alcotest.test_case "prereq qualifier" `Quick test_prereq_service_qualifier;
+      Alcotest.test_case "env negation" `Quick test_env_negation;
+      Alcotest.test_case "constants" `Quick test_constants;
+      Alcotest.test_case "negative int" `Quick test_negative_int;
+      Alcotest.test_case "priv rule" `Quick test_priv_rule;
+      Alcotest.test_case "appoint rule" `Quick test_appoint_rule;
+      Alcotest.test_case "priv rejects appt" `Quick test_priv_rejects_appointments;
+      Alcotest.test_case "priv rejects stars" `Quick test_priv_rejects_stars;
+      Alcotest.test_case "statements and comments" `Quick test_multiple_statements_and_comments;
+      Alcotest.test_case "syntax errors" `Quick test_errors;
+      Alcotest.test_case "initial with prereq" `Quick test_initial_with_prereq_rejected;
+      Alcotest.test_case "empty input" `Quick test_empty_input;
+      Alcotest.test_case "parse_exn" `Quick test_parse_exn;
+      Alcotest.test_case "zero arity" `Quick test_zero_arity_roles;
+    ] )

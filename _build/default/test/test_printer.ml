@@ -1,0 +1,179 @@
+(* Canonical policy printing: parse . print = id, property-tested over
+   randomly generated rules. *)
+
+module Parser = Oasis_policy.Parser
+module Rule = Oasis_policy.Rule
+module Term = Oasis_policy.Term
+module Value = Oasis_util.Value
+module Ident = Oasis_util.Ident
+
+(* ---------------- structural equality ---------------- *)
+
+let term_equal = Term.equal
+
+let args_equal a b = List.length a = List.length b && List.for_all2 term_equal a b
+
+let cred_ref_equal (a : Rule.cred_ref) (b : Rule.cred_ref) =
+  a.service = b.service && String.equal a.name b.name && args_equal a.args b.args
+
+let condition_equal a b =
+  match (a, b) with
+  | Rule.Prereq x, Rule.Prereq y | Rule.Appointment x, Rule.Appointment y -> cred_ref_equal x y
+  | Rule.Constraint (n1, a1), Rule.Constraint (n2, a2) -> String.equal n1 n2 && args_equal a1 a2
+  | _ -> false
+
+let statement_equal a b =
+  match (a, b) with
+  | Parser.Activation x, Parser.Activation y ->
+      String.equal x.Rule.role y.Rule.role
+      && args_equal x.Rule.params y.Rule.params
+      && x.Rule.initial = y.Rule.initial
+      && x.Rule.membership = y.Rule.membership
+      && List.length x.Rule.conditions = List.length y.Rule.conditions
+      && List.for_all2 condition_equal x.Rule.conditions y.Rule.conditions
+  | Parser.Appointer x, Parser.Appointer y
+  | Parser.Authorization x, Parser.Authorization y ->
+      String.equal x.Rule.privilege y.Rule.privilege
+      && args_equal x.Rule.priv_args y.Rule.priv_args
+      && List.length x.Rule.required_roles = List.length y.Rule.required_roles
+      && List.for_all2 cred_ref_equal x.Rule.required_roles y.Rule.required_roles
+      && List.length x.Rule.constraints = List.length y.Rule.constraints
+      && List.for_all2
+           (fun (n1, a1) (n2, a2) -> String.equal n1 n2 && args_equal a1 a2)
+           x.Rule.constraints y.Rule.constraints
+  | _ -> false
+
+(* ---------------- generators ---------------- *)
+
+open QCheck.Gen
+
+(* Names that cannot collide with keywords or constants. *)
+let name_gen =
+  let+ base = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+  "n" ^ base
+
+let var_gen =
+  let+ base = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  "v" ^ base
+
+let value_gen =
+  oneof
+    [
+      map (fun n -> Value.Int n) (int_range (-1000) 1000);
+      map (fun b -> Value.Bool b) bool;
+      (* Times expressible exactly in decimal with a dot. *)
+      map (fun n -> Value.Time (float_of_int n /. 4.0)) (int_range 0 100_000);
+      map2 (fun t n -> Value.Id (Ident.make ("k" ^ t) n))
+        (string_size ~gen:(char_range 'a' 'z') (int_range 1 4))
+        (int_range 0 999);
+      map (fun s -> Value.Str ("s " ^ s)) (string_size ~gen:(char_range 'a' 'z') (int_bound 8));
+    ]
+
+let term_gen = oneof [ map (fun v -> Term.Var v) var_gen; map (fun c -> Term.Const c) value_gen ]
+
+let terms_gen = list_size (int_bound 3) term_gen
+
+let cred_ref_gen =
+  let* name = name_gen in
+  let* args = terms_gen in
+  let* service = opt name_gen in
+  return { Rule.service; name; args }
+
+let condition_gen ~allow_prereq =
+  let constraint_gen =
+    let* negated = bool in
+    let* name = name_gen in
+    let* args = terms_gen in
+    return (Rule.Constraint ((if negated then "!" ^ name else name), args))
+  in
+  let appointment_gen =
+    let+ r = cred_ref_gen in
+    Rule.Appointment r
+  in
+  let prereq_gen =
+    let+ r = cred_ref_gen in
+    Rule.Prereq r
+  in
+  if allow_prereq then oneof [ constraint_gen; appointment_gen; prereq_gen ]
+  else oneof [ constraint_gen; appointment_gen ]
+
+let activation_gen =
+  let* initial = bool in
+  let* role = name_gen in
+  let* params = terms_gen in
+  let* n = if initial then int_bound 3 else int_range 1 4 in
+  let* conditions = list_repeat n (condition_gen ~allow_prereq:(not initial)) in
+  let* membership = list_repeat n bool in
+  return (Parser.Activation (Rule.activation ~initial ~role ~params (List.combine membership conditions)))
+
+let authorization_gen =
+  let* privilege = name_gen in
+  let* priv_args = terms_gen in
+  let* required_roles = list_size (int_range 1 3) cred_ref_gen in
+  let* constraints =
+    list_size (int_bound 2)
+      (let* name = name_gen in
+       let* args = terms_gen in
+       return (name, args))
+  in
+  return (Parser.Authorization { Rule.privilege; priv_args; required_roles; constraints })
+
+let appointer_gen =
+  let+ statement = authorization_gen in
+  match statement with
+  | Parser.Authorization a -> Parser.Appointer a
+  | s -> s
+
+let statement_gen = oneof [ activation_gen; authorization_gen; appointer_gen ]
+
+(* ---------------- properties ---------------- *)
+
+let roundtrip statement =
+  let text = Parser.print_statement statement in
+  match Parser.parse text with
+  | Ok [ parsed ] -> statement_equal statement parsed
+  | Ok _ | Error _ -> false
+
+let test_roundtrip_property () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:500 ~name:"parse . print = id" (QCheck.make statement_gen) roundtrip)
+
+let test_roundtrip_many_statements () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:50 ~name:"multi-statement roundtrip"
+       (QCheck.make (list_size (int_range 1 8) statement_gen))
+       (fun statements ->
+         match Parser.parse (Parser.print statements) with
+         | Ok parsed ->
+             List.length parsed = List.length statements
+             && List.for_all2 statement_equal statements parsed
+         | Error _ -> false))
+
+let test_printer_rejects_unprintable () =
+  let statement =
+    Parser.Activation
+      (Rule.activation ~initial:true ~role:"r" ~params:[ Term.Const (Value.Str "a\"b") ] [])
+  in
+  Alcotest.(check bool) "quote rejected" true
+    (match Parser.print_statement statement with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_printed_form_is_stable () =
+  (* print . parse . print = print (canonical form is a fixpoint). *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"canonical fixpoint" (QCheck.make statement_gen)
+       (fun statement ->
+         let once = Parser.print_statement statement in
+         match Parser.parse once with
+         | Ok [ parsed ] -> String.equal once (Parser.print_statement parsed)
+         | Ok _ | Error _ -> false))
+
+let suite =
+  ( "printer",
+    [
+      Alcotest.test_case "roundtrip (qcheck)" `Quick test_roundtrip_property;
+      Alcotest.test_case "multi-statement (qcheck)" `Quick test_roundtrip_many_statements;
+      Alcotest.test_case "unprintable rejected" `Quick test_printer_rejects_unprintable;
+      Alcotest.test_case "canonical fixpoint (qcheck)" `Quick test_printed_form_is_stable;
+    ] )

@@ -1,0 +1,85 @@
+(* Hybrid payload encryption (Sect. 4 encrypted communication). *)
+
+module Sealed = Oasis_crypto.Sealed
+module Elgamal = Oasis_crypto.Elgamal
+module Rng = Oasis_util.Rng
+
+let rng () = Rng.create 31
+
+let test_roundtrip () =
+  let rng = rng () in
+  let kp = Elgamal.generate rng in
+  List.iter
+    (fun payload ->
+      let sealed = Sealed.seal rng kp.Elgamal.public payload in
+      match Sealed.reveal kp.Elgamal.private_key sealed with
+      | Some plain -> Alcotest.(check string) "roundtrip" payload plain
+      | None -> Alcotest.fail "reveal failed")
+    [ ""; "x"; "hello world"; String.make 31 'a'; String.make 32 'b'; String.make 1000 'c' ]
+
+let test_roundtrip_qcheck () =
+  let rng = rng () in
+  let kp = Elgamal.generate rng in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"seal/reveal"
+       QCheck.(string_of_size Gen.(int_bound 300))
+       (fun payload ->
+         Sealed.reveal kp.Elgamal.private_key (Sealed.seal rng kp.Elgamal.public payload)
+         = Some payload))
+
+let test_wrong_key () =
+  let rng = rng () in
+  let kp = Elgamal.generate rng and other = Elgamal.generate rng in
+  let sealed = Sealed.seal rng kp.Elgamal.public "confidential" in
+  Alcotest.(check bool) "wrong key rejected" true
+    (Sealed.reveal other.Elgamal.private_key sealed = None)
+
+let test_ciphertext_hides_plaintext () =
+  let rng = rng () in
+  let kp = Elgamal.generate rng in
+  let payload = "PATIENT RECORD 1005" in
+  let sealed = Sealed.seal rng kp.Elgamal.public payload in
+  (* The wire bytes must not contain the plaintext. *)
+  let contains haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "body opaque" false (contains sealed.Sealed.body payload);
+  (* Sealing the same payload twice yields different ciphertexts. *)
+  let sealed2 = Sealed.seal rng kp.Elgamal.public payload in
+  Alcotest.(check bool) "probabilistic" false (String.equal sealed.Sealed.body sealed2.Sealed.body)
+
+let test_tampering_detected () =
+  let rng = rng () in
+  let kp = Elgamal.generate rng in
+  let sealed = Sealed.seal rng kp.Elgamal.public "append-to-EHR: penicillin 250mg" in
+  (* Flip every body byte in turn: MAC must catch each. *)
+  String.iteri
+    (fun i _ ->
+      let body = Bytes.of_string sealed.Sealed.body in
+      Bytes.set body i (Char.chr (Char.code (Bytes.get body i) lxor 1));
+      let forged = { sealed with Sealed.body = Bytes.to_string body } in
+      if Sealed.reveal kp.Elgamal.private_key forged <> None then
+        Alcotest.failf "bit flip at %d undetected" i)
+    sealed.Sealed.body;
+  (* Tampering with the encapsulation is caught too. *)
+  let forged = { sealed with Sealed.kem = { sealed.Sealed.kem with Elgamal.c2 = 12345L } } in
+  Alcotest.(check bool) "kem tamper" true (Sealed.reveal kp.Elgamal.private_key forged = None)
+
+let test_size_accounting () =
+  let rng = rng () in
+  let kp = Elgamal.generate rng in
+  let sealed = Sealed.seal rng kp.Elgamal.public (String.make 100 'x') in
+  Alcotest.(check int) "size" (16 + 100 + 32) (Sealed.size_bytes sealed)
+
+let suite =
+  ( "sealed",
+    [
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "roundtrip (qcheck)" `Quick test_roundtrip_qcheck;
+      Alcotest.test_case "wrong key" `Quick test_wrong_key;
+      Alcotest.test_case "opacity" `Quick test_ciphertext_hides_plaintext;
+      Alcotest.test_case "tampering" `Quick test_tampering_detected;
+      Alcotest.test_case "size" `Quick test_size_accounting;
+    ] )

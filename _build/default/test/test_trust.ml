@@ -1,0 +1,240 @@
+(* Audit certificates, registrars, histories and risk assessment (Sect. 6). *)
+
+module Audit = Oasis_trust.Audit
+module Registrar = Oasis_trust.Registrar
+module History = Oasis_trust.History
+module Assess = Oasis_trust.Assess
+module Simulation = Oasis_trust.Simulation
+module Ident = Oasis_util.Ident
+module Rng = Oasis_util.Rng
+
+let client = Ident.make "client" 1
+let server = Ident.make "server" 1
+
+let registrar () = Registrar.create (Rng.create 3) ~name:"main" ()
+let rogue () = Registrar.create (Rng.create 4) ~name:"rogue" ~honest:false ()
+
+let record ?(at = 1.0) ?(client_outcome = Audit.Fulfilled) ?(server_outcome = Audit.Fulfilled) reg =
+  Registrar.record_interaction reg ~client ~server ~at ~client_outcome ~server_outcome
+
+(* ---------------- Audit certificates ---------------- *)
+
+let test_audit_validate () =
+  let reg = registrar () in
+  let cert = record reg in
+  Alcotest.(check bool) "validates" true (Registrar.validate reg cert);
+  Alcotest.(check int) "validation counted" 1 (Registrar.validations reg);
+  Alcotest.(check int) "issued counted" 1 (Registrar.issued_count reg)
+
+let test_audit_tamper () =
+  let reg = registrar () in
+  let cert = record reg ~server_outcome:Audit.Breached in
+  (* The server would love to flip its outcome. *)
+  let laundered = Audit.with_server_outcome cert Audit.Fulfilled in
+  Alcotest.(check bool) "tampered rejected" false (Registrar.validate reg laundered)
+
+let test_audit_wrong_registrar () =
+  let reg = registrar () in
+  let other = Registrar.create (Rng.create 9) ~name:"other" () in
+  let cert = record reg in
+  Alcotest.(check bool) "unknown issuer rejected" false (Registrar.validate other cert)
+
+let test_audit_outcome_for () =
+  let reg = registrar () in
+  let cert = record reg ~client_outcome:Audit.Breached ~server_outcome:Audit.Fulfilled in
+  Alcotest.(check bool) "client side" true (Audit.outcome_for cert client = Some Audit.Breached);
+  Alcotest.(check bool) "server side" true (Audit.outcome_for cert server = Some Audit.Fulfilled);
+  Alcotest.(check bool) "stranger" true (Audit.outcome_for cert (Ident.make "x" 9) = None);
+  Alcotest.(check bool) "involves" true (Audit.involves cert client && Audit.involves cert server)
+
+let test_rogue_fabricate_and_repudiate () =
+  let reg = registrar () in
+  Alcotest.(check bool) "honest cannot fabricate" true
+    (match Registrar.fabricate reg ~client ~server ~at:1.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let r = rogue () in
+  let fake = Registrar.fabricate r ~client ~server ~at:1.0 in
+  Alcotest.(check bool) "fabrication validates at rogue" true (Registrar.validate r fake);
+  let genuine = record r in
+  Registrar.repudiate r genuine.Audit.id;
+  Alcotest.(check bool) "repudiated no longer validates" false (Registrar.validate r genuine)
+
+(* ---------------- Histories ---------------- *)
+
+let test_history () =
+  let reg = registrar () in
+  let h = History.create server in
+  History.add h (record reg);
+  History.add h (record reg ~server_outcome:Audit.Breached);
+  (* A certificate not involving the owner is ignored. *)
+  History.add h
+    (Registrar.record_interaction reg ~client ~server:(Ident.make "other" 1) ~at:2.0
+       ~client_outcome:Audit.Fulfilled ~server_outcome:Audit.Fulfilled);
+  Alcotest.(check int) "size" 2 (History.size h);
+  Alcotest.(check int) "favourable filters breaches" 1
+    (List.length (History.present_favourable h))
+
+(* ---------------- Assessment ---------------- *)
+
+let test_assess_no_evidence () =
+  let a = Assess.create () in
+  let verdict = Assess.assess a ~validate:(fun _ -> true) ~subject:server ~presented:[] in
+  Alcotest.(check (float 1e-9)) "prior" 0.5 verdict.Assess.score;
+  Alcotest.(check bool) "threshold 0.5 proceeds on prior" true verdict.Assess.proceed
+
+let test_assess_scores () =
+  let reg = registrar () in
+  let a = Assess.create ~threshold:0.6 () in
+  let good = List.init 8 (fun _ -> record reg) in
+  let verdict =
+    Assess.assess a ~validate:(Registrar.validate reg) ~subject:server ~presented:good
+  in
+  Alcotest.(check bool) "good history scores high" true (verdict.Assess.score > 0.8);
+  Alcotest.(check bool) "proceeds" true verdict.Assess.proceed;
+  let bad = List.init 8 (fun _ -> record reg ~server_outcome:Audit.Breached) in
+  let verdict2 =
+    Assess.assess a ~validate:(Registrar.validate reg) ~subject:server ~presented:bad
+  in
+  Alcotest.(check bool) "bad history scores low" true (verdict2.Assess.score < 0.2);
+  Alcotest.(check bool) "refuses" false verdict2.Assess.proceed
+
+let test_assess_rejects_invalid () =
+  let reg = registrar () in
+  let a = Assess.create () in
+  let cert = record reg in
+  let forged = Audit.with_server_outcome (record reg ~server_outcome:Audit.Breached) Audit.Fulfilled in
+  let verdict =
+    Assess.assess a ~validate:(Registrar.validate reg) ~subject:server
+      ~presented:[ cert; forged ]
+  in
+  Alcotest.(check int) "forged rejected" 1 verdict.Assess.rejected;
+  Alcotest.(check int) "one piece of evidence" 1 (List.length verdict.Assess.evidence)
+
+let test_feedback_discounts_vouchers () =
+  let r = rogue () in
+  (* Threshold above the 0.5 prior: discounted testimony converges to the
+     prior, so heavily-discounted fakes stop clearing the bar. *)
+  let a = Assess.create ~threshold:0.6 () in
+  let fakes = List.init 6 (fun _ -> Registrar.fabricate r ~client ~server ~at:1.0) in
+  let verdict = Assess.assess a ~validate:(Registrar.validate r) ~subject:server ~presented:fakes in
+  Alcotest.(check bool) "initially fooled" true verdict.Assess.proceed;
+  (* The server breaches; the rogue registrar's weight collapses. *)
+  Assess.feedback a verdict ~actual:Audit.Breached;
+  Alcotest.(check bool) "weight halved" true (Assess.registrar_weight a (Registrar.id r) <= 0.5);
+  (* Iterate: the same fakes soon stop clearing the threshold. *)
+  let rec hammer n =
+    if n = 0 then ()
+    else begin
+      let v = Assess.assess a ~validate:(Registrar.validate r) ~subject:server ~presented:fakes in
+      if v.Assess.proceed then begin
+        Assess.feedback a v ~actual:Audit.Breached;
+        hammer (n - 1)
+      end
+    end
+  in
+  hammer 20;
+  let final = Assess.assess a ~validate:(Registrar.validate r) ~subject:server ~presented:fakes in
+  Alcotest.(check bool) "eventually refuses" false final.Assess.proceed
+
+let test_feedback_disabled () =
+  let r = rogue () in
+  let a = Assess.create ~discounting:false () in
+  let fakes = List.init 6 (fun _ -> Registrar.fabricate r ~client ~server ~at:1.0) in
+  let verdict = Assess.assess a ~validate:(Registrar.validate r) ~subject:server ~presented:fakes in
+  Assess.feedback a verdict ~actual:Audit.Breached;
+  Alcotest.(check (float 1e-9)) "weight unchanged" 1.0 (Assess.registrar_weight a (Registrar.id r))
+
+let test_assess_invalid_threshold () =
+  Alcotest.(check bool) "raises" true
+    (match Assess.create ~threshold:1.5 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------------- Population simulation ---------------- *)
+
+let test_simulation_deterministic () =
+  let params = { Simulation.default_params with rounds = 10; servers = 20; clients = 20 } in
+  let r1 = Simulation.run params and r2 = Simulation.run params in
+  Alcotest.(check (float 1e-12)) "same final accuracy" r1.Simulation.final_accuracy
+    r2.Simulation.final_accuracy;
+  Alcotest.(check int) "rounds recorded" 10 (List.length r1.Simulation.per_round)
+
+let test_simulation_honest_population () =
+  let params =
+    { Simulation.default_params with byzantine_fraction = 0.0; rounds = 10 }
+  in
+  let r = Simulation.run params in
+  Alcotest.(check bool)
+    (Printf.sprintf "all accepts correct (%.2f)" r.Simulation.final_accuracy)
+    true (r.Simulation.final_accuracy > 0.95)
+
+let test_simulation_detects_byzantine () =
+  let params =
+    { Simulation.default_params with byzantine_fraction = 0.3; rounds = 40 }
+  in
+  let r = Simulation.run params in
+  let first = List.hd r.Simulation.per_round in
+  Alcotest.(check bool)
+    (Printf.sprintf "accuracy improves (%.2f -> %.2f)" first.Simulation.accuracy
+       r.Simulation.final_accuracy)
+    true
+    (r.Simulation.final_accuracy > 0.8 && r.Simulation.final_accuracy > first.Simulation.accuracy)
+
+let test_simulation_collusion_needs_discounting () =
+  let base =
+    {
+      Simulation.default_params with
+      byzantine_fraction = 0.0;
+      colluder_fraction = 0.25;
+      colluder_padding = 3;
+      rounds = 40;
+    }
+  in
+  let with_disc = Simulation.run { base with discounting = true } in
+  let without = Simulation.run { base with discounting = false } in
+  Alcotest.(check bool)
+    (Printf.sprintf "discounting beats none (%.2f vs %.2f)" with_disc.Simulation.final_accuracy
+       without.Simulation.final_accuracy)
+    true
+    (with_disc.Simulation.final_accuracy > without.Simulation.final_accuracy);
+  (* And the rogue registrar's reputation visibly collapses. *)
+  let last = List.nth with_disc.Simulation.per_round 39 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rogue weight fell (%.3f)" last.Simulation.mean_rogue_weight)
+    true (last.Simulation.mean_rogue_weight < 0.5)
+
+let test_simulation_validates_params () =
+  Alcotest.(check bool) "small population raises" true
+    (match Simulation.run { Simulation.default_params with servers = 1 } with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "fractions over 1 raise" true
+    (match
+       Simulation.run
+         { Simulation.default_params with byzantine_fraction = 0.8; colluder_fraction = 0.8 }
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let suite =
+  ( "trust",
+    [
+      Alcotest.test_case "audit validate" `Quick test_audit_validate;
+      Alcotest.test_case "audit tamper" `Quick test_audit_tamper;
+      Alcotest.test_case "audit wrong registrar" `Quick test_audit_wrong_registrar;
+      Alcotest.test_case "audit outcome_for" `Quick test_audit_outcome_for;
+      Alcotest.test_case "rogue fabricate/repudiate" `Quick test_rogue_fabricate_and_repudiate;
+      Alcotest.test_case "history" `Quick test_history;
+      Alcotest.test_case "assess prior" `Quick test_assess_no_evidence;
+      Alcotest.test_case "assess scores" `Quick test_assess_scores;
+      Alcotest.test_case "assess rejects invalid" `Quick test_assess_rejects_invalid;
+      Alcotest.test_case "feedback discounts" `Quick test_feedback_discounts_vouchers;
+      Alcotest.test_case "feedback disabled" `Quick test_feedback_disabled;
+      Alcotest.test_case "invalid threshold" `Quick test_assess_invalid_threshold;
+      Alcotest.test_case "simulation deterministic" `Quick test_simulation_deterministic;
+      Alcotest.test_case "honest population" `Quick test_simulation_honest_population;
+      Alcotest.test_case "byzantine detection" `Slow test_simulation_detects_byzantine;
+      Alcotest.test_case "collusion vs discounting" `Slow test_simulation_collusion_needs_discounting;
+      Alcotest.test_case "parameter validation" `Quick test_simulation_validates_params;
+    ] )

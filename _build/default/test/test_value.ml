@@ -1,0 +1,113 @@
+module Value = Oasis_util.Value
+module Ident = Oasis_util.Ident
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let samples =
+  [
+    Value.Int 0;
+    Value.Int (-3);
+    Value.Int 12345;
+    Value.Str "";
+    Value.Str "hello";
+    Value.Str "with spaces";
+    Value.Bool true;
+    Value.Bool false;
+    Value.Time 0.0;
+    Value.Time 1.5;
+    Value.Id (Ident.make "p" 7);
+  ]
+
+let test_equal_reflexive () =
+  List.iter (fun v -> Alcotest.(check value) "reflexive" v v) samples
+
+let test_compare_distinct () =
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j then
+            Alcotest.(check bool)
+              (Format.asprintf "%a <> %a" Value.pp a Value.pp b)
+              false (Value.equal a b))
+        samples)
+    samples
+
+let test_compare_antisymmetric () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Value.compare a b and c2 = Value.compare b a in
+          Alcotest.(check int) "antisymmetric" (compare c1 0) (compare 0 c2))
+        samples)
+    samples
+
+let test_of_string () =
+  Alcotest.(check value) "int" (Value.Int 42) (Value.of_string "42");
+  Alcotest.(check value) "negative" (Value.Int (-1)) (Value.of_string "-1");
+  Alcotest.(check value) "bool true" (Value.Bool true) (Value.of_string "true");
+  Alcotest.(check value) "bool false" (Value.Bool false) (Value.of_string "false");
+  Alcotest.(check value) "time" (Value.Time 2.5) (Value.of_string "t:2.5");
+  Alcotest.(check value) "ident" (Value.Id (Ident.make "svc" 3)) (Value.of_string "svc#3");
+  Alcotest.(check value) "fallback string" (Value.Str "plain") (Value.of_string "plain")
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun v ->
+      match v with
+      | Value.Str "" | Value.Str "with spaces" -> () (* not round-trippable by design *)
+      | _ -> Alcotest.(check value) "of_string . to_string" v (Value.of_string (Value.to_string v)))
+    samples
+
+let encode v =
+  let b = Buffer.create 16 in
+  Value.encode b v;
+  Buffer.contents b
+
+let test_encode_injective () =
+  (* Distinct values encode distinctly (prefix games must not collapse). *)
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j then
+            Alcotest.(check bool) "distinct encodings" false (String.equal (encode a) (encode b)))
+        samples)
+    samples
+
+let test_encode_type_tagged () =
+  (* Int 1 and Str "1" and Bool true must differ. *)
+  let e1 = encode (Value.Int 1) and e2 = encode (Value.Str "1") in
+  Alcotest.(check bool) "int vs str" false (String.equal e1 e2)
+
+let test_list_encoding_unambiguous () =
+  (* ["ab"; "c"] vs ["a"; "bc"] — length prefixes must separate them. *)
+  let enc vs =
+    let b = Buffer.create 16 in
+    List.iter (Value.encode b) vs;
+    Buffer.contents b
+  in
+  Alcotest.(check bool) "no concat collision" false
+    (String.equal (enc [ Value.Str "ab"; Value.Str "c" ]) (enc [ Value.Str "a"; Value.Str "bc" ]))
+
+let test_type_name () =
+  Alcotest.(check string) "int" "int" (Value.type_name (Value.Int 1));
+  Alcotest.(check string) "str" "str" (Value.type_name (Value.Str "x"));
+  Alcotest.(check string) "bool" "bool" (Value.type_name (Value.Bool true));
+  Alcotest.(check string) "time" "time" (Value.type_name (Value.Time 1.0));
+  Alcotest.(check string) "id" "id" (Value.type_name (Value.Id (Ident.make "a" 0)))
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "equal reflexive" `Quick test_equal_reflexive;
+      Alcotest.test_case "distinct samples" `Quick test_compare_distinct;
+      Alcotest.test_case "compare antisymmetric" `Quick test_compare_antisymmetric;
+      Alcotest.test_case "of_string" `Quick test_of_string;
+      Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+      Alcotest.test_case "encode injective" `Quick test_encode_injective;
+      Alcotest.test_case "encode type tagged" `Quick test_encode_type_tagged;
+      Alcotest.test_case "list encoding unambiguous" `Quick test_list_encoding_unambiguous;
+      Alcotest.test_case "type names" `Quick test_type_name;
+    ] )

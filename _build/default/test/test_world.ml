@@ -1,0 +1,240 @@
+(* World, Principal and protocol-surface coverage. *)
+
+module World = Oasis_core.World
+module Service = Oasis_core.Service
+module Principal = Oasis_core.Principal
+module Protocol = Oasis_core.Protocol
+module Civ = Oasis_domain.Civ
+module Audit = Oasis_trust.Audit
+module Env = Oasis_policy.Env
+module Value = Oasis_util.Value
+module Ident = Oasis_util.Ident
+
+let test_registry () =
+  let world = World.create () in
+  let svc = Service.create world ~name:"alpha" ~policy:"initial r <- env:eq(1, 1);" () in
+  Alcotest.(check bool) "resolve" true (World.resolve world "alpha" = Some (Service.id svc));
+  Alcotest.(check (option string)) "reverse" (Some "alpha")
+    (World.service_name world (Service.id svc));
+  Alcotest.(check bool) "unknown" true (World.resolve world "beta" = None);
+  Alcotest.(check bool) "rebinding raises" true
+    (match World.register_service world ~name:"alpha" (Ident.make "x" 0) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_run_proc_detects_deadlock () =
+  let world = World.create () in
+  Alcotest.(check bool) "deadlock reported" true
+    (match
+       World.run_proc world (fun () ->
+           (* Block on an ivar nobody will ever fill. *)
+           Oasis_sim.Proc.read (Oasis_sim.Proc.ivar () : int Oasis_sim.Proc.ivar))
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_settle_leaves_future_timers () =
+  let world = World.create () in
+  let fired = ref false in
+  ignore
+    (Oasis_sim.Engine.schedule (World.engine world) ~after:100.0 (fun () -> fired := true));
+  World.settle world;
+  Alcotest.(check bool) "far timer untouched" false !fired;
+  Alcotest.(check bool) "clock advanced ~1s" true (World.now world < 2.0);
+  World.run world;
+  Alcotest.(check bool) "run drains it" true !fired
+
+let test_fresh_ids_distinct () =
+  let world = World.create () in
+  let a = World.fresh_cert_id world and b = World.fresh_cert_id world in
+  Alcotest.(check bool) "distinct" false (Ident.equal a b);
+  let p = World.fresh_principal_id world and q = World.fresh_anon_id world in
+  Alcotest.(check bool) "namespaces differ" false (String.equal (Ident.tag p) (Ident.tag q))
+
+let test_multiple_sessions_per_principal () =
+  let world = World.create () in
+  let svc = Service.create world ~name:"svc" ~policy:"initial r <- env:eq(1, 1);" () in
+  let p = Principal.create world ~name:"p" in
+  let s1 = Principal.start_session p and s2 = Principal.start_session p in
+  Alcotest.(check bool) "distinct session keys" false
+    (String.equal (Principal.session_key s1) (Principal.session_key s2));
+  World.run_proc world (fun () ->
+      (match Principal.activate p s1 svc ~role:"r" () with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "s1: %s" (Protocol.denial_to_string d));
+      match Principal.activate p s2 svc ~role:"r" () with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "s2: %s" (Protocol.denial_to_string d));
+  Alcotest.(check int) "one RMC per session" 1 (List.length (Principal.session_rmcs s1));
+  (* RMCs are session-bound: s1's RMC does not verify under s2's key (the
+     issuer would refuse it — see test_security for the end-to-end case). *)
+  Alcotest.(check int) "two active roles for same principal" 2
+    (List.length (Service.active_roles svc))
+
+let test_policy_errors_contained () =
+  (* A rule with an unbound head parameter, or an unknown predicate, is a
+     configuration bug: the service must refuse with Bad_request and stay
+     alive — never crash the node. *)
+  let world = World.create () in
+  let svc =
+    Service.create world ~name:"svc"
+      ~policy:
+        {|
+          initial broken_head(u) <- env:eq(1, 1);
+          initial broken_env <- env:no_such_predicate(1);
+          initial fine <- env:eq(1, 1);
+          priv broken_priv(u) <- fine, env:also_missing(u);
+        |}
+      ()
+  in
+  let p = Principal.create world ~name:"p" in
+  World.run_proc world (fun () ->
+      let s = Principal.start_session p in
+      (match Principal.activate p s svc ~role:"broken_head" () with
+      | Error (Protocol.Bad_request _) -> ()
+      | _ -> Alcotest.fail "unbound head not contained");
+      (match Principal.activate p s svc ~role:"broken_env" () with
+      | Error (Protocol.Bad_request _) -> ()
+      | _ -> Alcotest.fail "unknown predicate not contained");
+      (* The service is still healthy. *)
+      (match Principal.activate p s svc ~role:"fine" () with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "healthy role broken: %s" (Protocol.denial_to_string d));
+      match Principal.invoke p s svc ~privilege:"broken_priv" ~args:[ Value.Int 1 ] with
+      | Error (Protocol.Bad_request _) -> ()
+      | _ -> Alcotest.fail "privilege policy error not contained")
+
+let test_principal_wallet_management () =
+  let world = World.create () in
+  let civ = Civ.create world ~name:"civ" () in
+  let p = Principal.create world ~name:"p" in
+  let appt =
+    Civ.issue civ ~kind:"card" ~args:[] ~holder:(Principal.id p)
+      ~holder_key:(Principal.longterm_public p) ()
+  in
+  Principal.grant_appointment p appt;
+  Alcotest.(check int) "wallet" 1 (List.length (Principal.appointments p));
+  Principal.drop_appointment p appt.Oasis_cert.Appointment.id;
+  Alcotest.(check int) "dropped" 0 (List.length (Principal.appointments p))
+
+let test_principal_node_rejects_non_challenge () =
+  let world = World.create () in
+  let p = Principal.create world ~name:"p" and q = Principal.create world ~name:"q" in
+  let reply =
+    World.run_proc world (fun () ->
+        Oasis_sim.Network.rpc (World.network world) ~src:(Principal.id p) ~dst:(Principal.id q)
+          Protocol.Deactivate_ok)
+  in
+  match reply with
+  | Protocol.Denied (Protocol.Bad_request _) -> ()
+  | _ -> Alcotest.fail "principals must refuse non-challenge requests"
+
+let test_civ_audit_extension () =
+  (* Sect. 6: the domain's CIV issues and validates audit certificates. *)
+  let world = World.create () in
+  let civ = Civ.create world ~name:"civ" () in
+  let client = Ident.make "client" 1 and server = Ident.make "server" 1 in
+  let cert =
+    Civ.record_interaction civ ~client ~server ~client_outcome:Audit.Fulfilled
+      ~server_outcome:Audit.Breached
+  in
+  Alcotest.(check bool) "validates" true (Civ.validate_audit civ cert);
+  Alcotest.(check bool) "records virtual time" true (cert.Audit.at = World.now world);
+  let laundered = Audit.with_server_outcome cert Audit.Fulfilled in
+  Alcotest.(check bool) "tamper rejected" false (Civ.validate_audit civ laundered);
+  (* Honest registrar: no fabrication. *)
+  Alcotest.(check bool) "fabricate refused" true
+    (match Oasis_trust.Registrar.fabricate (Civ.registrar civ) ~client ~server ~at:0.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* Writes follow the primary. *)
+  Civ.set_replica_down civ 0 true;
+  Alcotest.(check bool) "primary down blocks audit" true
+    (match
+       Civ.record_interaction civ ~client ~server ~client_outcome:Audit.Fulfilled
+         ~server_outcome:Audit.Fulfilled
+     with
+    | _ -> false
+    | exception Civ.Primary_unavailable -> true)
+
+let test_remote_predicate () =
+  (* Sect. 2: a constraint answered by database lookup at another service. *)
+  let world = World.create () in
+  let registry =
+    Service.create world ~name:"registry" ~policy:"initial noop <- env:eq(1, 1);" ()
+  in
+  Env.declare_fact (Service.env registry) "member";
+  let club =
+    Service.create world ~name:"club"
+      ~policy:"initial insider(u) <- env:member_remote(u);" ()
+  in
+  Service.register_remote_predicate club ~local_name:"member_remote" ~at:(Service.id registry)
+    ~remote_name:"member";
+  let p = Principal.create world ~name:"p" in
+  World.run_proc world (fun () ->
+      let s = Principal.start_session p in
+      match
+        Principal.activate p s club ~role:"insider" ~args:[ Some (Value.Id (Principal.id p)) ] ()
+      with
+      | Error Protocol.No_proof -> ()
+      | _ -> Alcotest.fail "non-member admitted");
+  Env.assert_fact (Service.env registry) "member" [ Value.Id (Principal.id p) ];
+  World.run_proc world (fun () ->
+      let s = Principal.start_session p in
+      match
+        Principal.activate p s club ~role:"insider" ~args:[ Some (Value.Id (Principal.id p)) ] ()
+      with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "member denied: %s" (Protocol.denial_to_string d));
+  (* The lookup really crossed the network. *)
+  Alcotest.(check bool) "registry consulted" true
+    (let st = Oasis_sim.Network.stats (World.network world) in
+     st.Oasis_sim.Network.rpcs >= 3);
+  (* A dead registry counts as "does not hold", not a crash. *)
+  Oasis_sim.Network.set_down (World.network world) (Service.id registry) true;
+  World.run_proc world (fun () ->
+      let s = Principal.start_session p in
+      match
+        Principal.activate p s club ~role:"insider" ~args:[ Some (Value.Id (Principal.id p)) ] ()
+      with
+      | Error Protocol.No_proof -> ()
+      | _ -> Alcotest.fail "dead registry should deny")
+
+let test_hour_window_role_expires () =
+  (* A role gated on hour_between collapses when the window closes — purely
+     time-driven deactivation (no fact changes, no revocation). Start at
+     16:00; window 9-17. *)
+  let world = World.create () in
+  World.run_until world (16.0 *. 3600.0);
+  let svc =
+    Service.create world ~name:"svc"
+      ~policy:"initial day_shift <- *env:hour_between(9, 17);" ()
+  in
+  let p = Principal.create world ~name:"p" in
+  World.run_proc world (fun () ->
+      match Principal.activate p (Principal.start_session p) svc ~role:"day_shift" () with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "denied: %s" (Protocol.denial_to_string d));
+  Alcotest.(check int) "active at 16:00" 1 (List.length (Service.active_roles svc));
+  World.run_until world (16.9 *. 3600.0);
+  Alcotest.(check int) "active at 16:54" 1 (List.length (Service.active_roles svc));
+  World.run_until world (17.1 *. 3600.0);
+  World.settle world;
+  Alcotest.(check int) "deactivated at 17:06" 0 (List.length (Service.active_roles svc))
+
+let suite =
+  ( "world",
+    [
+      Alcotest.test_case "registry" `Quick test_registry;
+      Alcotest.test_case "run_proc deadlock" `Quick test_run_proc_detects_deadlock;
+      Alcotest.test_case "settle semantics" `Quick test_settle_leaves_future_timers;
+      Alcotest.test_case "fresh ids" `Quick test_fresh_ids_distinct;
+      Alcotest.test_case "multiple sessions" `Quick test_multiple_sessions_per_principal;
+      Alcotest.test_case "policy errors contained" `Quick test_policy_errors_contained;
+      Alcotest.test_case "wallet" `Quick test_principal_wallet_management;
+      Alcotest.test_case "node refuses non-challenge" `Quick
+        test_principal_node_rejects_non_challenge;
+      Alcotest.test_case "civ audit extension" `Quick test_civ_audit_extension;
+      Alcotest.test_case "remote predicate" `Quick test_remote_predicate;
+      Alcotest.test_case "hour-window deactivation" `Quick test_hour_window_role_expires;
+    ] )
