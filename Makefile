@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench doc clean examples
+.PHONY: all build test check bench doc clean examples
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	dune runtest
+
+# The full gate: build everything, run the test suite, and smoke the bench
+# harness (single cheap iteration; also proves the JSON emitter runs).
+check: build test
+	dune exec bench/main.exe -- E9 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).
 bench:

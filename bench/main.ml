@@ -699,12 +699,144 @@ let e8 () =
     [ true; false ]
 
 (* ------------------------------------------------------------------ *)
+(* E9 — env churn: fact-change propagation cost, indexed vs full scan  *)
+(* ------------------------------------------------------------------ *)
+
+(* `--smoke` shrinks every experiment that honours it to a single cheap
+   iteration, so `make check` can prove the bench binary still runs without
+   paying for a full measurement campaign. *)
+let smoke_mode = ref false
+
+(* The active-security hot path: every fact change used to re-scan the
+   watch lists of every RMC the service had ever issued. The reverse index
+   (predicate base name -> watching RMCs) makes the cost proportional to
+   the watchers of the changed predicate. This experiment drives N services
+   sharing one environment database, M active roles in total of which a
+   small fixed set watches the "hot" predicate, and K flips (assert +
+   retract) per measured predicate; it records the number of RMC membership
+   re-checks and the CPU time, for the indexed and the legacy linear
+   configurations, into BENCH_active_security.json. *)
+let e9 () =
+  header "E9 Active security: env-churn fact-change propagation (indexed vs scan)";
+  let smoke = !smoke_mode in
+  let services_n = 4 in
+  let hot_watchers = if smoke then 2 else 8 in
+  let flips = if smoke then 1 else 2000 in
+  let sizes = if smoke then [ 16 ] else [ 100; 400; 1600 ] in
+  let churn_policy =
+    {|
+      initial hotrole(u) <- *env:hot(u);
+      initial coldrole(u) <- *env:cold(u);
+    |}
+  in
+  let run_config ~total ~indexed =
+    let world = World.create ~seed:9 () in
+    let env = Env.create (Oasis_sim.Engine.clock (World.engine world)) in
+    Env.declare_fact env "hot";
+    Env.declare_fact env "cold";
+    Env.declare_fact env "idle";
+    let config = { Service.default_config with index_env_watches = indexed } in
+    let services =
+      Array.init services_n (fun i ->
+          Service.create world
+            ~name:(Printf.sprintf "churn%d" i)
+            ~config ~env ~policy:churn_policy ())
+    in
+    let p = Principal.create world ~name:"p" in
+    World.run_proc world (fun () ->
+        let session = Principal.start_session p in
+        for i = 0 to total - 1 do
+          let svc = services.(i mod services_n) in
+          let role, pred = if i < hot_watchers then ("hotrole", "hot") else ("coldrole", "cold") in
+          Env.assert_fact env pred [ Value.Int i ];
+          ignore (ok (Principal.activate p session svc ~role ~args:[ Some (Value.Int i) ] ()))
+        done);
+    let active =
+      Array.fold_left (fun acc s -> acc + List.length (Service.active_roles s)) 0 services
+    in
+    assert (active = total);
+    (* Flip a sentinel tuple that matches no watcher's ground constraint:
+       every change notification pays the propagation cost but deactivates
+       nothing, so the same population is re-measured across predicates. *)
+    let measure pred =
+      Array.iter Service.reset_stats services;
+      let t0 = Sys.time () in
+      for _ = 1 to flips do
+        Env.assert_fact env pred [ Value.Int (-1) ];
+        Env.retract_fact env pred [ Value.Int (-1) ]
+      done;
+      let seconds = Sys.time () -. t0 in
+      let rechecks =
+        Array.fold_left (fun acc s -> acc + (Service.stats s).Service.env_rechecks) 0 services
+      in
+      (rechecks, seconds)
+    in
+    let idle_rechecks, idle_s = measure "idle" in
+    let hot_rechecks, hot_s = measure "hot" in
+    assert (Array.fold_left (fun acc s -> acc + List.length (Service.active_roles s)) 0 services
+            = total);
+    if indexed then begin
+      (* The tentpole claim, enforced: untouched predicates cost nothing,
+         and the hot predicate costs exactly its watchers per change. *)
+      assert (idle_rechecks = 0);
+      assert (hot_rechecks = 2 * flips * hot_watchers)
+    end;
+    (idle_rechecks, idle_s, hot_rechecks, hot_s)
+  in
+  Printf.printf
+    "  %d services share one env; %d watchers of 'hot'; %d flips per predicate\n\n"
+    services_n hot_watchers flips;
+  Printf.printf "  %-12s | %6s | %14s | %10s | %14s | %10s\n" "mode" "roles" "idle rechecks"
+    "idle s" "hot rechecks" "hot s";
+  let rows =
+    List.concat_map
+      (fun total ->
+        List.map
+          (fun indexed ->
+            let idle_rechecks, idle_s, hot_rechecks, hot_s = run_config ~total ~indexed in
+            let mode = if indexed then "indexed" else "linear-scan" in
+            Printf.printf "  %-12s | %6d | %14d | %10.4f | %14d | %10.4f\n" mode total
+              idle_rechecks idle_s hot_rechecks hot_s;
+            Printf.sprintf
+              "    { \"mode\": %S, \"total_active_rmcs\": %d, \"idle_rechecks\": %d,\n\
+              \      \"idle_seconds\": %.6f, \"hot_rechecks\": %d, \"hot_seconds\": %.6f }"
+              mode total idle_rechecks idle_s hot_rechecks hot_s)
+          [ false; true ])
+      sizes
+  in
+  let out = open_out "BENCH_active_security.json" in
+  Printf.fprintf out
+    "{\n\
+    \  \"benchmark\": \"env_churn_active_security\",\n\
+    \  \"generated_by\": \"dune exec bench/main.exe -- E9%s\",\n\
+    \  \"params\": { \"services\": %d, \"hot_watchers\": %d, \"flips\": %d, \"smoke\": %b },\n\
+    \  \"claim\": \"fact-change propagation cost scales with watchers of the changed predicate, not with total active RMCs\",\n\
+    \  \"rows\": [\n%s\n  ]\n}\n"
+    (if smoke then " --smoke" else "")
+    services_n hot_watchers flips smoke
+    (String.concat ",\n" rows);
+  close_out out;
+  Printf.printf "\n  results written to BENCH_active_security.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
-  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7); ("E8", e8) ]
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
+    ("E8", e8); ("E9", e9);
+  ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let requested =
+    List.filter
+      (fun arg ->
+        if String.equal arg "--smoke" then begin
+          smoke_mode := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let selected =
     match requested with
     | [] -> experiments

@@ -23,30 +23,57 @@ let topic t = topic_of ~issuer:t.issuer ~cert_id:t.cert_id
 
 let is_valid t = match t.status with Valid -> true | Revoked _ -> false
 
-type store = t Ident.Tbl.t
+(* Records keyed by certificate id, with a secondary index keyed by
+   (issuer, name) so "every record for role r" — the solver-candidate and
+   introspection queries — costs the matching records, not a scan of the
+   whole store. The valid count is maintained incrementally for the same
+   reason. *)
+type store = {
+  records : t Ident.Tbl.t;
+  by_name : (string, t Ident.Tbl.t) Hashtbl.t;
+  mutable valid : int;
+}
 
-let create_store () = Ident.Tbl.create 256
+let name_key ~issuer ~name = Ident.to_string issuer ^ "\x00" ^ name
+
+let create_store () = { records = Ident.Tbl.create 256; by_name = Hashtbl.create 64; valid = 0 }
 
 let add store ~cert_id ~issuer ~kind ~principal ~name ~args ~issued_at =
-  if Ident.Tbl.mem store cert_id then
+  if Ident.Tbl.mem store.records cert_id then
     invalid_arg
       (Printf.sprintf "Credential_record.add: duplicate certificate %s" (Ident.to_string cert_id));
   let record = { cert_id; issuer; kind; principal; name; args; issued_at; status = Valid } in
-  Ident.Tbl.replace store cert_id record;
+  Ident.Tbl.replace store.records cert_id record;
+  let key = name_key ~issuer ~name in
+  let bucket =
+    match Hashtbl.find_opt store.by_name key with
+    | Some b -> b
+    | None ->
+        let b = Ident.Tbl.create 8 in
+        Hashtbl.replace store.by_name key b;
+        b
+  in
+  Ident.Tbl.replace bucket cert_id record;
+  store.valid <- store.valid + 1;
   record
 
-let find store cert_id = Ident.Tbl.find_opt store cert_id
+let find store cert_id = Ident.Tbl.find_opt store.records cert_id
+
+let find_named store ~issuer ~name =
+  match Hashtbl.find_opt store.by_name (name_key ~issuer ~name) with
+  | None -> []
+  | Some bucket -> Ident.Tbl.fold (fun _ record acc -> record :: acc) bucket []
 
 let revoke store cert_id ~at ~reason =
-  match Ident.Tbl.find_opt store cert_id with
+  match Ident.Tbl.find_opt store.records cert_id with
   | Some record when is_valid record ->
       record.status <- Revoked { at; reason };
+      store.valid <- store.valid - 1;
       Some record
   | Some _ | None -> None
 
-let count store = Ident.Tbl.length store
+let count store = Ident.Tbl.length store.records
 
-let valid_count store =
-  Ident.Tbl.fold (fun _ record acc -> if is_valid record then acc + 1 else acc) store 0
+let valid_count store = store.valid
 
-let iter store f = Ident.Tbl.iter (fun _ record -> f record) store
+let iter store f = Ident.Tbl.iter (fun _ record -> f record) store.records

@@ -51,6 +51,12 @@ val add :
 
 val find : store -> Oasis_util.Ident.t -> t option
 
+val find_named : store -> issuer:Oasis_util.Ident.t -> name:string -> t list
+(** Every record (valid or revoked) issued by [issuer] for role or
+    appointment kind [name], in unspecified order. Served from a secondary
+    index maintained on {!add}: cost is proportional to the matching
+    records, never the store size. *)
+
 val revoke : store -> Oasis_util.Ident.t -> at:float -> reason:string -> t option
 (** Marks the record revoked. [Some record] if it existed and was valid
     (i.e. this call changed its state); [None] otherwise. Revocation is
@@ -58,5 +64,8 @@ val revoke : store -> Oasis_util.Ident.t -> at:float -> reason:string -> t optio
     never resurrects old ones. *)
 
 val count : store -> int
+
 val valid_count : store -> int
+(** The number of currently valid records; maintained incrementally, O(1). *)
+
 val iter : store -> (t -> unit) -> unit

@@ -1,45 +1,72 @@
 module Ident = Oasis_util.Ident
 
+type verdict = Valid | Invalid
+
 type t = {
-  table : unit Ident.Tbl.t;
+  table : verdict Ident.Tbl.t;
   mutable hits : int;
+  mutable negative_hits : int;
   mutable misses : int;
   mutable invalidations : int;
 }
 
-let create () = { table = Ident.Tbl.create 64; hits = 0; misses = 0; invalidations = 0 }
+let create () =
+  { table = Ident.Tbl.create 64; hits = 0; negative_hits = 0; misses = 0; invalidations = 0 }
 
-let cache_valid t cert_id = Ident.Tbl.replace t.table cert_id ()
+let cache_valid t cert_id = Ident.Tbl.replace t.table cert_id Valid
 
 let lookup t cert_id =
-  if Ident.Tbl.mem t.table cert_id then begin
-    t.hits <- t.hits + 1;
-    true
-  end
-  else begin
-    t.misses <- t.misses + 1;
-    false
-  end
+  match Ident.Tbl.find_opt t.table cert_id with
+  | Some Valid as v ->
+      t.hits <- t.hits + 1;
+      v
+  | Some Invalid as v ->
+      t.negative_hits <- t.negative_hits + 1;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      None
 
 let invalidate t cert_id =
-  if Ident.Tbl.mem t.table cert_id then begin
-    Ident.Tbl.remove t.table cert_id;
-    t.invalidations <- t.invalidations + 1
-  end
+  match Ident.Tbl.find_opt t.table cert_id with
+  | Some Invalid -> ()
+  | Some Valid | None ->
+      (* Revocation is permanent (the issuer never resurrects a certificate
+         id), so the invalidation event is itself a cachable negative
+         verdict: later presentations of the dead certificate answer [false]
+         locally instead of re-issuing the callback. *)
+      Ident.Tbl.replace t.table cert_id Invalid;
+      t.invalidations <- t.invalidations + 1
 
 let clear t = Ident.Tbl.reset t.table
 
-type stats = { hits : int; misses : int; invalidations : int; entries : int }
+type stats = {
+  hits : int;
+  negative_hits : int;
+  misses : int;
+  invalidations : int;
+  entries : int;
+  negative_entries : int;
+}
 
 let stats (t : t) =
+  let entries, negative_entries =
+    Ident.Tbl.fold
+      (fun _ verdict (pos, neg) ->
+        match verdict with Valid -> (pos + 1, neg) | Invalid -> (pos, neg + 1))
+      t.table (0, 0)
+  in
   {
     hits = t.hits;
+    negative_hits = t.negative_hits;
     misses = t.misses;
     invalidations = t.invalidations;
-    entries = Ident.Tbl.length t.table;
+    entries;
+    negative_entries;
   }
 
 let reset_stats (t : t) =
   t.hits <- 0;
+  t.negative_hits <- 0;
   t.misses <- 0;
   t.invalidations <- 0

@@ -7,28 +7,50 @@
     channel so that the issuer can notify the service should the certificate
     be invalidated for any reason."
 
-    Only positive verdicts are cached — a certificate seen as invalid might
-    be superseded by a fresh one under the same principal, and negatives are
-    cheap to re-check. Experiment E3 measures the round trips this cache
-    saves. *)
+    Two kinds of verdict are cached:
+    - {b positive}: a callback answered "valid"; the caller must hold an
+      invalidation watch on the issuer's event channel so the entry can be
+      retired when the certificate dies.
+    - {b negative}: the issuer announced invalidation over that very watch.
+      Revocation is permanent in OASIS (re-activation mints a fresh
+      certificate id), so the negative verdict is final and later
+      presentations of the dead certificate are refused without any further
+      callback.
+
+    A plain [false] callback answer is {e not} cached: RMC validation
+    depends on the presenter's session key (a stolen certificate presented
+    by a thief fails, while the owner's presentation would succeed), so a
+    negative wire verdict is not a property of the certificate id alone.
+    Experiment E3 measures the round trips this cache saves. *)
 
 type t
+
+type verdict = Valid | Invalid
 
 val create : unit -> t
 
 val cache_valid : t -> Oasis_util.Ident.t -> unit
 (** Records a positive callback verdict for a certificate id. *)
 
-val lookup : t -> Oasis_util.Ident.t -> bool
-(** [true] iff a positive verdict is cached (counts a hit); [false] means
-    the caller must perform the callback (counts a miss). *)
+val lookup : t -> Oasis_util.Ident.t -> verdict option
+(** [Some Valid] / [Some Invalid] if a verdict is cached (counts a hit /
+    negative hit); [None] means the caller must perform the callback
+    (counts a miss). *)
 
 val invalidate : t -> Oasis_util.Ident.t -> unit
-(** Called on an invalidation event from the issuer's channel. Idempotent. *)
+(** Called on an invalidation event from the issuer's channel. Converts the
+    entry (present or not) into a cached negative verdict. Idempotent. *)
 
 val clear : t -> unit
 
-type stats = { hits : int; misses : int; invalidations : int; entries : int }
+type stats = {
+  hits : int;  (** positive-verdict cache hits *)
+  negative_hits : int;  (** callbacks suppressed by a cached invalidation *)
+  misses : int;
+  invalidations : int;
+  entries : int;  (** positive entries currently cached *)
+  negative_entries : int;  (** invalidated certificates remembered *)
+}
 
 val stats : t -> stats
 val reset_stats : t -> unit

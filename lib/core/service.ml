@@ -28,6 +28,7 @@ type config = {
   challenge_appointment_holders : bool;
   cache_remote_validation : bool;
   validation_retries : int;
+  index_env_watches : bool;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     challenge_appointment_holders = false;
     cache_remote_validation = true;
     validation_retries = 2;
+    index_env_watches = true;
   }
 
 type audit_entry = {
@@ -52,7 +54,9 @@ type audit_entry = {
 type watch =
   | Watch_event of Broker.subscription
   | Watch_beat of Heartbeat.monitor
-  | Watch_timer of Engine.cancel
+  | Watch_timer of Engine.cancel option ref
+      (* the slot holds the currently armed re-check timer; re-arming
+         replaces the handle instead of accumulating dead ones *)
 
 (* An RMC this service has issued, with its active-security state. *)
 type issued_rmc = {
@@ -85,6 +89,7 @@ type mutable_stats = {
   mutable validation_failures : int;
   mutable revocations : int;
   mutable cascade_deactivations : int;
+  mutable env_rechecks : int;
 }
 
 type stats = {
@@ -99,6 +104,7 @@ type stats = {
   validation_failures : int;
   revocations : int;
   cascade_deactivations : int;
+  env_rechecks : int;
   cache : Vcache.stats;
 }
 
@@ -110,12 +116,14 @@ type t = {
   env : Env.t;
   secret : Secret.t;
   mutable epoch : int;
-  activations : (string, Rule.activation list ref) Hashtbl.t;
-  authorizations : (string, Rule.authorization list ref) Hashtbl.t;
-  appointers : (string, Rule.authorization list ref) Hashtbl.t;
+  activations : (string, Rule.activation Queue.t) Hashtbl.t;
+  authorizations : (string, Rule.authorization Queue.t) Hashtbl.t;
+  appointers : (string, Rule.authorization Queue.t) Hashtbl.t;
   operations : (string, principal:Ident.t -> Value.t list -> Value.t option) Hashtbl.t;
   crs : Cr.store;
   rmcs : issued_rmc Ident.Tbl.t;
+  env_index : (string, issued_rmc Ident.Tbl.t) Hashtbl.t;
+      (* predicate base name -> issued RMCs whose membership rule watches it *)
   appts : issued_appt Ident.Tbl.t;
   cache : Vcache.t;
   cache_watched : watch Ident.Tbl.t;  (* remote cert id -> invalidation watch *)
@@ -133,10 +141,16 @@ let current_epoch t = t.epoch
 (* Policy installation                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Appends in O(1) while preserving installation order: a rule installed
+   first is tried first, and bulk policy installation stays linear in the
+   number of rules per role. *)
 let multi_add table key v =
   match Hashtbl.find_opt table key with
-  | Some l -> l := !l @ [ v ]
-  | None -> Hashtbl.replace table key (ref [ v ])
+  | Some q -> Queue.push v q
+  | None ->
+      let q = Queue.create () in
+      Queue.push v q;
+      Hashtbl.replace table key q
 
 let add_activation_rule t (rule : Rule.activation) = multi_add t.activations rule.role rule
 
@@ -184,44 +198,87 @@ let watch_invalidation t ~issuer ~cert_id ~on_dead =
 let drop_watch t = function
   | Watch_event sub -> Broker.unsubscribe (World.broker t.world) sub
   | Watch_beat monitor -> Heartbeat.cancel_watch monitor
-  | Watch_timer cancel -> Engine.cancel (World.engine t.world) cancel
+  | Watch_timer slot -> (
+      match !slot with
+      | Some cancel ->
+          Engine.cancel (World.engine t.world) cancel;
+          slot := None
+      | None -> ())
 
-(* Remote validation with optional caching (Sect. 4, experiment E3). *)
+(* ------------------------------------------------------------------ *)
+(* The env reverse index (predicate base name -> watching RMCs)       *)
+(* ------------------------------------------------------------------ *)
+
+(* A fact change must touch only the RMCs whose membership rule mentions
+   the changed predicate, not every RMC the service ever issued; the index
+   is maintained on issue and deactivation. *)
+let index_env_watch t issued (name, _args) =
+  let base = Env.base_name name in
+  let watchers =
+    match Hashtbl.find_opt t.env_index base with
+    | Some w -> w
+    | None ->
+        let w = Ident.Tbl.create 8 in
+        Hashtbl.replace t.env_index base w;
+        w
+  in
+  Ident.Tbl.replace watchers issued.rmc.Rmc.id issued
+
+let unindex_env_watches t issued =
+  List.iter
+    (fun (name, _args) ->
+      let base = Env.base_name name in
+      match Hashtbl.find_opt t.env_index base with
+      | None -> ()
+      | Some watchers ->
+          Ident.Tbl.remove watchers issued.rmc.Rmc.id;
+          if Ident.Tbl.length watchers = 0 then Hashtbl.remove t.env_index base)
+    issued.env_watch
+
+(* Remote validation with optional caching (Sect. 4, experiment E3).
+
+   Positive verdicts are cached with an invalidation watch on the issuer's
+   event channel; when that watch reports the certificate dead, the entry
+   is converted to a cached negative verdict (revocation is permanent), so
+   re-presenting a revoked certificate answers locally instead of issuing
+   the callback again. A plain [false] wire verdict is never cached — RMC
+   validity depends on the presented session key, not the cert id alone. *)
 let validate_remote t ~make_request ~cert_id ~issuer =
-  let cached = t.config.cache_remote_validation && Vcache.lookup t.cache cert_id in
-  if cached then true
-  else begin
-    (* Datagram loss must not turn into a spurious denial: retry a bounded
-       number of times before giving up (the verdict itself is never
-       retried — a 'false' answer is authoritative). *)
-    let rec attempt tries_left =
-      t.st.callbacks_out <- t.st.callbacks_out + 1;
-      match Network.rpc (World.network t.world) ~src:t.sid ~dst:issuer (make_request ()) with
-      | reply -> reply
-      | exception Network.Rpc_dropped ->
-          if tries_left > 0 then attempt (tries_left - 1) else raise Network.Rpc_dropped
-    in
-    match attempt t.config.validation_retries with
-    | Protocol.Validate_result ok ->
-        if ok && t.config.cache_remote_validation then begin
-          Vcache.cache_valid t.cache cert_id;
-          if not (Ident.Tbl.mem t.cache_watched cert_id) then begin
-            let watch =
-              watch_invalidation t ~issuer ~cert_id ~on_dead:(fun _reason ->
-                  Vcache.invalidate t.cache cert_id;
-                  match Ident.Tbl.find_opt t.cache_watched cert_id with
-                  | Some w ->
-                      Ident.Tbl.remove t.cache_watched cert_id;
-                      drop_watch t w
-                  | None -> ())
-            in
-            Ident.Tbl.replace t.cache_watched cert_id watch
-          end
-        end;
-        ok
-    | _ -> false
-    | exception Network.Rpc_dropped -> false
-  end
+  let cached = if t.config.cache_remote_validation then Vcache.lookup t.cache cert_id else None in
+  match cached with
+  | Some Vcache.Valid -> true
+  | Some Vcache.Invalid -> false
+  | None -> (
+      (* Datagram loss must not turn into a spurious denial: retry a bounded
+         number of times before giving up (the verdict itself is never
+         retried — a 'false' answer is authoritative). *)
+      let rec attempt tries_left =
+        t.st.callbacks_out <- t.st.callbacks_out + 1;
+        match Network.rpc (World.network t.world) ~src:t.sid ~dst:issuer (make_request ()) with
+        | reply -> reply
+        | exception Network.Rpc_dropped ->
+            if tries_left > 0 then attempt (tries_left - 1) else raise Network.Rpc_dropped
+      in
+      match attempt t.config.validation_retries with
+      | Protocol.Validate_result ok ->
+          if ok && t.config.cache_remote_validation then begin
+            Vcache.cache_valid t.cache cert_id;
+            if not (Ident.Tbl.mem t.cache_watched cert_id) then begin
+              let watch =
+                watch_invalidation t ~issuer ~cert_id ~on_dead:(fun _reason ->
+                    Vcache.invalidate t.cache cert_id;
+                    match Ident.Tbl.find_opt t.cache_watched cert_id with
+                    | Some w ->
+                        Ident.Tbl.remove t.cache_watched cert_id;
+                        drop_watch t w
+                    | None -> ())
+              in
+              Ident.Tbl.replace t.cache_watched cert_id watch
+            end
+          end;
+          ok
+      | _ -> false
+      | exception Network.Rpc_dropped -> false)
 
 (* Challenge-response against a claimed public key (Sect. 4.1). *)
 let challenge_key t ~dst ~key =
@@ -292,21 +349,39 @@ let validate_presented t ~src ~session_key (creds : Protocol.credentials) =
   in
   (rmc_creds, appt_creds)
 
-let solver_context t ~rmc_creds ~appt_creds =
-  let by_issuer service creds name =
-    let issuer =
-      match service with None -> Some t.sid | Some symbolic -> World.resolve t.world symbolic
-    in
-    match issuer with
+(* Candidate credentials indexed by (issuer, name): built once per request,
+   then each rule condition looks up exactly its matching candidates instead
+   of filtering the whole presented wallet (a rule with many conditions over
+   a fat wallet was quadratic). Presentation order is preserved within a
+   bucket, so proof search tries credentials in the order presented. *)
+let index_creds creds =
+  let key issuer name = Ident.to_string issuer ^ "\x00" ^ name in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Solve.cred) ->
+      let k = key c.issuer c.cred_name in
+      match Hashtbl.find_opt tbl k with
+      | Some bucket -> bucket := c :: !bucket
+      | None -> Hashtbl.replace tbl k (ref [ c ]))
+    creds;
+  Hashtbl.iter (fun _ bucket -> bucket := List.rev !bucket) tbl;
+  fun issuer name -> match Hashtbl.find_opt tbl (key issuer name) with
+    | Some bucket -> !bucket
     | None -> []
-    | Some issuer ->
-        List.filter
-          (fun (c : Solve.cred) -> Ident.equal c.issuer issuer && String.equal c.cred_name name)
-          creds
+
+let solver_context t ~rmc_creds ~appt_creds =
+  let find_rmc = index_creds rmc_creds in
+  let find_appt = index_creds appt_creds in
+  let resolve = function
+    | None -> Some t.sid
+    | Some symbolic -> World.resolve t.world symbolic
+  in
+  let by_issuer find service name =
+    match resolve service with None -> [] | Some issuer -> find issuer name
   in
   {
-    Solve.find_rmcs = (fun ~service ~name -> by_issuer service rmc_creds name);
-    find_appointments = (fun ~issuer ~name -> by_issuer issuer appt_creds name);
+    Solve.find_rmcs = (fun ~service ~name -> by_issuer find_rmc service name);
+    find_appointments = (fun ~issuer ~name -> by_issuer find_appt issuer name);
     env_check = Env.check t.env;
     env_enumerate = Env.enumerate t.env;
   }
@@ -331,6 +406,7 @@ let deactivate_rmc t (issued : issued_rmc) ~reason ~cascade =
       (match issued.beats with Some e -> Heartbeat.stop_emitter e | None -> ());
       List.iter (drop_watch t) issued.watches;
       issued.watches <- [];
+      unindex_env_watches t issued;
       issued.env_watch <- [];
       announce_invalidation t record reason
 
@@ -370,6 +446,13 @@ let decommission t ~reason =
   Ident.Tbl.iter
     (fun _ ia -> if revoke_appt t ia ~reason then incr count)
     t.appts;
+  (* This service also holds state about *other* services' certificates:
+     invalidation watches backing the validation cache. A decommissioned
+     service must not keep subscriptions or heartbeat monitors alive on
+     foreign event channels, nor keep serving cached verdicts. *)
+  Ident.Tbl.iter (fun _ watch -> drop_watch t watch) t.cache_watched;
+  Ident.Tbl.reset t.cache_watched;
+  Vcache.clear t.cache;
   !count
 
 (* ------------------------------------------------------------------ *)
@@ -411,48 +494,75 @@ let monitor_membership t (issued : issued_rmc) (proof : Solve.proof) =
       | Solve.By_env _ when not (List.nth membership i) -> ()
       | Solve.By_env (name, args) -> (
             issued.env_watch <- (name, args) :: issued.env_watch;
+            index_env_watch t issued (name, args);
             (* Time-dependent constraints change truth value spontaneously:
-               schedule a re-check at the earliest possible flip. *)
+               schedule a re-check at the earliest possible flip. One timer
+               slot per constraint — re-arming replaces the pending handle
+               rather than growing the watch list without bound. *)
             match Env.next_change_time t.env name args with
             | None -> ()
             | Some at ->
+                let slot = ref None in
                 let rec arm at =
-                  let cancel =
-                    Engine.schedule_at (World.engine t.world) ~at:(at +. 1e-9) (fun () ->
-                        if Cr.is_valid issued.record then
-                          if not (Env.check t.env name args) then
-                            deactivate_rmc t issued ~cascade:true
-                              ~reason:(Printf.sprintf "constraint %s no longer holds" name)
-                          else
-                            match Env.next_change_time t.env name args with
-                            | Some at' -> arm at'
-                            | None -> ())
-                  in
-                  issued.watches <- Watch_timer cancel :: issued.watches
+                  slot :=
+                    Some
+                      (Engine.schedule_at (World.engine t.world) ~at:(at +. 1e-9) (fun () ->
+                           slot := None;
+                           if Cr.is_valid issued.record then
+                             if not (Env.check t.env name args) then
+                               deactivate_rmc t issued ~cascade:true
+                                 ~reason:(Printf.sprintf "constraint %s no longer holds" name)
+                             else
+                               match Env.next_change_time t.env name args with
+                               | Some at' -> arm at'
+                               | None -> ()))
                 in
-                arm at))
+                arm at;
+                issued.watches <- Watch_timer slot :: issued.watches))
     proof.support
 
 (* One env listener per service re-checks membership constraints whose
    predicate was touched by a fact change (assert or retract: negated
-   conditions are falsified by assertions). *)
+   conditions are falsified by assertions).
+
+   The indexed path consults the reverse index, so the cost of a fact
+   change is proportional to the RMCs actually watching the changed
+   predicate. The legacy path (config.index_env_watches = false) re-scans
+   every issued RMC — kept only as the benchmark ablation baseline.
+   [env_rechecks] counts RMCs examined per change in both modes, which is
+   what the scale tests and the E9 benchmark assert on. *)
+let recheck_env_watches t issued changed_name =
+  t.st.env_rechecks <- t.st.env_rechecks + 1;
+  List.iter
+    (fun (name, args) ->
+      if
+        String.equal (Env.base_name name) changed_name
+        && Cr.is_valid issued.record
+        && not (Env.check t.env name args)
+      then
+        deactivate_rmc t issued ~cascade:true
+          ~reason:(Printf.sprintf "constraint %s no longer holds" name))
+    issued.env_watch
+
 let install_env_listener t =
-  Env.on_change t.env (fun changed_name _args _change ->
-      Ident.Tbl.iter
-        (fun _ issued ->
-          if Cr.is_valid issued.record then
+  if t.config.index_env_watches then
+    Env.on_change t.env (fun changed_name _args _change ->
+        match Hashtbl.find_opt t.env_index changed_name with
+        | None -> ()
+        | Some watchers ->
+            (* Snapshot first: a failed re-check deactivates the RMC, which
+               removes it from the very table being traversed. *)
+            let snapshot = Ident.Tbl.fold (fun _ issued acc -> issued :: acc) watchers [] in
             List.iter
-              (fun (name, args) ->
-                let base =
-                  if String.length name > 0 && name.[0] = '!' then
-                    String.sub name 1 (String.length name - 1)
-                  else name
-                in
-                if String.equal base changed_name && not (Env.check t.env name args) then
-                  deactivate_rmc t issued ~cascade:true
-                    ~reason:(Printf.sprintf "constraint %s no longer holds" name))
-              issued.env_watch)
-        t.rmcs)
+              (fun issued ->
+                if Cr.is_valid issued.record then recheck_env_watches t issued changed_name)
+              snapshot)
+  else
+    Env.on_change t.env (fun changed_name _args _change ->
+        Ident.Tbl.iter
+          (fun _ issued ->
+            if Cr.is_valid issued.record then recheck_env_watches t issued changed_name)
+          t.rmcs)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                   *)
@@ -498,20 +608,23 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
       end
       else
         let proof =
-          (* A rule that proves but leaves a head parameter unbound, or one
-             naming an unknown predicate, is a policy configuration error:
-             refuse the request and log, never crash the service. *)
+          (* A rule that proves but leaves a head parameter unbound, one
+             naming an unknown predicate, or one negating a non-ground
+             constraint is a policy configuration error: refuse the request
+             and log, never crash the service. *)
           try
             Ok
-              (List.find_map
+              (Seq.find_map
                  (fun rule ->
                    match seed_from_requested rule requested with
                    | None -> None
                    | Some seed -> Solve.activation ctx rule ~seed ())
-                 !rules)
+                 (Queue.to_seq rules))
           with
           | Oasis_policy.Solve.Unbound_head (r, v) ->
               Error (Printf.sprintf "policy error: unbound head parameter %s in role %s" v r)
+          | Oasis_policy.Solve.Nonground_negation p ->
+              Error (Printf.sprintf "policy error: non-ground negated constraint %s" p)
           | Env.Unknown_predicate p ->
               Error (Printf.sprintf "policy error: unknown predicate %s" p)
         in
@@ -561,7 +674,7 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
 let solve_privilege ctx rules args =
   try
     Ok
-      (List.find_map
+      (Seq.find_map
          (fun (rule : Rule.authorization) ->
            if List.length rule.priv_args <> List.length args then None
            else
@@ -573,9 +686,11 @@ let solve_privilege ctx rules args =
              with
              | None -> None
              | Some seed -> Solve.authorization ctx rule ~seed ())
-         rules)
-  with Env.Unknown_predicate p ->
-    Error (Printf.sprintf "policy error: unknown predicate %s" p)
+         (Queue.to_seq rules))
+  with
+  | Env.Unknown_predicate p -> Error (Printf.sprintf "policy error: unknown predicate %s" p)
+  | Oasis_policy.Solve.Nonground_negation p ->
+      Error (Printf.sprintf "policy error: non-ground negated constraint %s" p)
 
 let handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds =
   match Hashtbl.find_opt t.authorizations privilege with
@@ -593,7 +708,7 @@ let handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds =
         Protocol.Denied Protocol.Challenge_failed
       end
       else
-        match solve_privilege ctx !rules args with
+        match solve_privilege ctx rules args with
         | Error message ->
             t.st.invocations_denied <- t.st.invocations_denied + 1;
             Log.err (fun m -> m "%s: %s" t.sname message);
@@ -628,7 +743,7 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
         Protocol.Denied Protocol.Challenge_failed
       end
       else
-        match solve_privilege ctx !rules args with
+        match solve_privilege ctx rules args with
         | Error message ->
             t.st.appointments_denied <- t.st.appointments_denied + 1;
             Log.err (fun m -> m "%s: %s" t.sname message);
@@ -732,6 +847,7 @@ let create world ~name ?(config = default_config) ?env ~policy () =
       operations = Hashtbl.create 8;
       crs = Cr.create_store ();
       rmcs = Ident.Tbl.create 64;
+      env_index = Hashtbl.create 16;
       appts = Ident.Tbl.create 64;
       cache = Vcache.create ();
       cache_watched = Ident.Tbl.create 64;
@@ -748,6 +864,7 @@ let create world ~name ?(config = default_config) ?env ~policy () =
           validation_failures = 0;
           revocations = 0;
           cascade_deactivations = 0;
+          env_rechecks = 0;
         };
       audit = [];
     }
@@ -791,6 +908,19 @@ let active_roles t =
       else acc)
     t.rmcs []
 
+let active_roles_named t role =
+  List.filter_map
+    (fun (record : Cr.t) ->
+      if record.Cr.kind = Cr.Kind_rmc && Cr.is_valid record then
+        Some (record.Cr.cert_id, record.Cr.args, record.Cr.principal)
+      else None)
+    (Cr.find_named t.crs ~issuer:t.sid ~name:role)
+
+let env_watcher_count t predicate =
+  match Hashtbl.find_opt t.env_index (Env.base_name predicate) with
+  | Some watchers -> Ident.Tbl.length watchers
+  | None -> 0
+
 let roles_defined t = Hashtbl.fold (fun role _ acc -> role :: acc) t.activations [] |> List.sort compare
 
 let privileges_defined t =
@@ -811,6 +941,7 @@ let stats t =
     validation_failures = t.st.validation_failures;
     revocations = t.st.revocations;
     cascade_deactivations = t.st.cascade_deactivations;
+    env_rechecks = t.st.env_rechecks;
     cache = Vcache.stats t.cache;
   }
 
@@ -826,4 +957,5 @@ let reset_stats t =
   t.st.validation_failures <- 0;
   t.st.revocations <- 0;
   t.st.cascade_deactivations <- 0;
+  t.st.env_rechecks <- 0;
   Vcache.reset_stats t.cache

@@ -30,6 +30,12 @@ type config = {
   validation_retries : int;
       (** extra attempts when a validation callback datagram is lost; a
           negative verdict is never retried; default 2 *)
+  index_env_watches : bool;
+      (** serve fact-change notifications from the reverse index (predicate
+          base name → watching RMCs), so a change touches only the RMCs
+          that actually watch the changed predicate; default on. Off falls
+          back to re-scanning every issued RMC per change — kept solely as
+          the baseline for the E9 benchmark ablation. *)
 }
 
 val default_config : config
@@ -110,6 +116,17 @@ val is_valid_certificate : t -> Oasis_util.Ident.t -> bool
 val active_roles : t -> (Oasis_util.Ident.t * string * Oasis_util.Value.t list * Oasis_util.Ident.t) list
 (** [(cert_id, role, args, principal)] for every currently valid RMC. *)
 
+val active_roles_named :
+  t -> string -> (Oasis_util.Ident.t * Oasis_util.Value.t list * Oasis_util.Ident.t) list
+(** [(cert_id, args, principal)] for every currently valid RMC of one role,
+    served from the credential store's (issuer, name) index: cost is the
+    records of that role, not a scan of everything ever issued. *)
+
+val env_watcher_count : t -> string -> int
+(** How many currently active RMCs watch the given environmental predicate
+    (membership-marked constraints only), read from the reverse index the
+    fact-change hot path uses. A leading ['!'] is ignored. *)
+
 val roles_defined : t -> string list
 val privileges_defined : t -> string list
 
@@ -138,6 +155,10 @@ type stats = {
   validation_failures : int;  (** presented credentials dropped as invalid *)
   revocations : int;  (** credential records invalidated here *)
   cascade_deactivations : int;  (** revocations triggered by monitoring, not administration *)
+  env_rechecks : int;
+      (** RMCs whose membership constraints were re-examined because a fact
+          changed; with indexing on this counts only watchers of the changed
+          predicate *)
   cache : Oasis_cert.Validation_cache.stats;
 }
 

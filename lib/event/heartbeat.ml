@@ -21,12 +21,21 @@ type monitor = {
   mutable miss_fired : bool;
   mutable last_beat : float;
   mutable unsub : unit -> unit;
+  mutable cancel_pending : unit -> unit;
 }
 
 let watch ?(accept = fun _ -> true) broker engine ~topic ~deadline ~on_miss =
   if deadline <= 0.0 then invalid_arg "Heartbeat.watch: deadline must be positive";
   let owner = Oasis_util.Ident.make "hb-monitor" 0 in
-  let m = { alive = true; miss_fired = false; last_beat = Engine.now engine; unsub = (fun () -> ()) } in
+  let m =
+    {
+      alive = true;
+      miss_fired = false;
+      last_beat = Engine.now engine;
+      unsub = (fun () -> ());
+      cancel_pending = (fun () -> ());
+    }
+  in
   let subscription =
     Broker.subscribe broker topic ~owner (fun _topic beat ->
         if m.alive && accept beat then m.last_beat <- Engine.now engine)
@@ -39,17 +48,20 @@ let watch ?(accept = fun _ -> true) broker engine ~topic ~deadline ~on_miss =
   let rec arm () =
     let snapshot = m.last_beat in
     let fire_at = Float.max (snapshot +. deadline) (Engine.now engine) in
-    ignore
-      (Engine.schedule_at engine ~at:fire_at (fun () ->
-           if m.alive then
-             if m.last_beat = snapshot then begin
-               (* No beat since arming: the deadline has truly lapsed. *)
-               m.alive <- false;
-               m.miss_fired <- true;
-               m.unsub ();
-               on_miss ()
-             end
-             else arm ()))
+    let handle =
+      Engine.schedule_at engine ~at:fire_at (fun () ->
+          m.cancel_pending <- (fun () -> ());
+          if m.alive then
+            if m.last_beat = snapshot then begin
+              (* No beat since arming: the deadline has truly lapsed. *)
+              m.alive <- false;
+              m.miss_fired <- true;
+              m.unsub ();
+              on_miss ()
+            end
+            else arm ())
+    in
+    m.cancel_pending <- (fun () -> Engine.cancel engine handle)
   in
   arm ();
   m
@@ -57,7 +69,9 @@ let watch ?(accept = fun _ -> true) broker engine ~topic ~deadline ~on_miss =
 let cancel_watch m =
   if m.alive then begin
     m.alive <- false;
-    m.unsub ()
+    m.unsub ();
+    m.cancel_pending ();
+    m.cancel_pending <- (fun () -> ())
   end
 
 let missed m = m.miss_fired

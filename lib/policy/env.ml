@@ -108,6 +108,9 @@ let strip_negation name =
     (true, String.sub name 1 (String.length name - 1))
   else (false, name)
 
+let base_name name = snd (strip_negation name)
+let negated name = fst (strip_negation name)
+
 let check_positive t name args =
   match Hashtbl.find_opt t.computed name with
   | Some f -> f args

@@ -60,6 +60,13 @@ val enumerate : t -> string -> Oasis_util.Value.t list list
 val fact_predicate : t -> string -> bool
 (** Whether the (un-negated) name denotes a fact predicate. *)
 
+val base_name : string -> string
+(** The predicate name with any leading ['!'] negation marker removed.
+    Change notifications carry base names, so watchers index by this. *)
+
+val negated : string -> bool
+(** Whether the name carries the ['!'] negation marker. *)
+
 val next_change_time : t -> string -> Oasis_util.Value.t list -> float option
 (** For time-dependent computed predicates, the earliest future instant at
     which the constraint's truth value can change ([before(t)] answers [t]);

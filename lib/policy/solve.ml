@@ -37,6 +37,7 @@ type proof = {
 }
 
 exception Unbound_head of string * string
+exception Nonground_negation of string
 
 (* Generic depth-first proof search over the conditions. [emit] receives each
    full solution; it returns [true] to continue searching or [false] to cut. *)
@@ -71,6 +72,11 @@ let search ctx conditions ~seed ~emit =
                 if ctx.env_check name values then
                   go subst (By_env (name, values) :: acc) rest
                 else true
+            | _ when String.length name > 0 && name.[0] = '!' ->
+                (* A negated constraint with free variables would enumerate
+                   no tuples and "prove" nothing, silently. Negation as
+                   failure is only sound over ground instances: refuse. *)
+                raise (Nonground_negation name)
             | _ ->
                 (* Free variables: enumerate matching facts to bind them. *)
                 let rec loop = function

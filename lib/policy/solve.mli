@@ -48,6 +48,13 @@ exception Unbound_head of string * string
 (** [(role, variable)]: the rule proved but left a head parameter unbound —
     a policy bug; RMCs must be ground (Fig. 4 protects concrete fields). *)
 
+exception Nonground_negation of string
+(** A negated environmental constraint (e.g. [env:!excluded(doc, pat)]) was
+    reached with unbound arguments. Negation as failure cannot enumerate the
+    (unbounded) complement of a predicate, so earlier conditions must bind
+    every variable it mentions; anything else is a policy configuration
+    error that must surface loudly rather than yield "no proof". *)
+
 val activation : context -> Rule.activation -> ?seed:Term.Subst.t -> unit -> proof option
 (** First proof found, or [None]. [seed] pre-binds head variables when the
     principal requests specific parameters (e.g. a particular patient). *)

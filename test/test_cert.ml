@@ -172,26 +172,39 @@ let test_cr_topic () =
 
 (* ---------------- Validation cache ---------------- *)
 
+let verdict_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Some Vcache.Valid -> Format.pp_print_string ppf "Some Valid"
+      | Some Vcache.Invalid -> Format.pp_print_string ppf "Some Invalid"
+      | None -> Format.pp_print_string ppf "None")
+    ( = )
+
 let test_cache () =
   let cache = Vcache.create () in
   let id1 = Ident.make "cert" 1 in
-  Alcotest.(check bool) "miss" false (Vcache.lookup cache id1);
+  Alcotest.(check verdict_testable) "miss" None (Vcache.lookup cache id1);
   Vcache.cache_valid cache id1;
-  Alcotest.(check bool) "hit" true (Vcache.lookup cache id1);
+  Alcotest.(check verdict_testable) "hit" (Some Vcache.Valid) (Vcache.lookup cache id1);
   Vcache.invalidate cache id1;
-  Alcotest.(check bool) "miss after invalidate" false (Vcache.lookup cache id1);
+  (* Invalidation leaves a cached negative verdict, not a hole: the next
+     presentation is refused locally instead of re-issuing the callback. *)
+  Alcotest.(check verdict_testable) "negative after invalidate" (Some Vcache.Invalid)
+    (Vcache.lookup cache id1);
   Vcache.invalidate cache id1;
   let stats = Vcache.stats cache in
   Alcotest.(check int) "hits" 1 stats.Vcache.hits;
-  Alcotest.(check int) "misses" 2 stats.Vcache.misses;
+  Alcotest.(check int) "negative hits" 1 stats.Vcache.negative_hits;
+  Alcotest.(check int) "misses" 1 stats.Vcache.misses;
   Alcotest.(check int) "invalidations idempotent" 1 stats.Vcache.invalidations;
-  Alcotest.(check int) "entries" 0 stats.Vcache.entries
+  Alcotest.(check int) "entries" 0 stats.Vcache.entries;
+  Alcotest.(check int) "negative entries" 1 stats.Vcache.negative_entries
 
 let test_cache_clear_and_reset () =
   let cache = Vcache.create () in
   Vcache.cache_valid cache (Ident.make "cert" 1);
   Vcache.clear cache;
-  Alcotest.(check bool) "cleared" false (Vcache.lookup cache (Ident.make "cert" 1));
+  Alcotest.(check verdict_testable) "cleared" None (Vcache.lookup cache (Ident.make "cert" 1));
   Vcache.reset_stats cache;
   Alcotest.(check int) "stats reset" 0 (Vcache.stats cache).Vcache.misses
 

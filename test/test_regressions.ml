@@ -1,0 +1,172 @@
+(* Regression tests for the active-security fixes:
+   - non-ground negation is a refused request, not a silent "proved"
+   - cancelled heartbeat watches release their engine timer
+   - decommission releases cache-invalidation subscriptions and the cache
+   - rule installation keeps insertion order (first-installed rule wins)
+   - fact-change cost follows the reverse index, not the RMC population *)
+
+module World = Oasis_core.World
+module Service = Oasis_core.Service
+module Principal = Oasis_core.Principal
+module Protocol = Oasis_core.Protocol
+module Civ = Oasis_domain.Civ
+module Env = Oasis_policy.Env
+module Engine = Oasis_sim.Engine
+module Broker = Oasis_event.Broker
+module Heartbeat = Oasis_event.Heartbeat
+module Cr = Oasis_cert.Credential_record
+module Rng = Oasis_util.Rng
+module Value = Oasis_util.Value
+open Fixtures
+
+(* A negated constraint over an unbound variable must be refused as a bad
+   request (negation as failure is only sound on ground instances), while
+   the same role pinned to a concrete argument activates normally. *)
+let test_nonground_negation_denied () =
+  let world = World.create ~seed:11 () in
+  let svc =
+    Service.create world ~name:"risky" ~policy:"initial risky(u) <- env:!banned(u);" ()
+  in
+  Env.declare_fact (Service.env svc) "banned";
+  let p = Principal.create world ~name:"p" in
+  World.run_proc world (fun () ->
+      let s = Principal.start_session p in
+      (match Principal.activate p s svc ~role:"risky" () with
+      | Error (Protocol.Bad_request _) -> ()
+      | Ok _ -> Alcotest.fail "non-ground negation granted"
+      | Error d ->
+          Alcotest.failf "expected Bad_request, got %s" (Protocol.denial_to_string d));
+      ignore
+        (ok (Principal.activate p s svc ~role:"risky" ~args:[ Some (Value.Int 1) ] ())));
+  Alcotest.(check int) "refusal recorded" 1 (Service.stats svc).Service.activations_denied
+
+(* A cancelled watch must cancel its pending engine timer; previously the
+   cancel handle was dropped and dead monitors kept a timer in the heap. *)
+let test_heartbeat_cancel_releases_timer () =
+  let engine = Engine.create () in
+  let broker = Broker.create engine (Rng.create 1) ~notify_latency:0.01 () in
+  let missed = ref false in
+  let monitor =
+    Heartbeat.watch broker engine ~topic:"hb" ~deadline:2.5 ~on_miss:(fun () -> missed := true)
+  in
+  Alcotest.(check bool) "timer armed" true (Engine.pending engine > 0);
+  Heartbeat.cancel_watch monitor;
+  Engine.run engine;
+  Alcotest.(check int) "no timer executed after cancel" 0 (Engine.events_executed engine);
+  Alcotest.(check bool) "no miss after cancel" false !missed;
+  Alcotest.(check bool) "monitor not missed" false (Heartbeat.missed monitor)
+
+(* Decommissioning a service must drop its validation cache and unsubscribe
+   its cache-invalidation watches on other issuers' event channels. *)
+let test_decommission_releases_cache_watches () =
+  let world = World.create ~seed:13 () in
+  let civ = Civ.create world ~name:"authority" () in
+  let svc =
+    Service.create world ~name:"club"
+      ~policy:"initial member(u) <- *appt:badge(u)@authority;" ()
+  in
+  let p = Principal.create world ~name:"p" in
+  let badge =
+    Civ.issue civ ~kind:"badge"
+      ~args:[ Value.Id (Principal.id p) ]
+      ~holder:(Principal.id p) ~holder_key:(Principal.longterm_public p) ()
+  in
+  Principal.grant_appointment p badge;
+  World.settle world;
+  World.run_proc world (fun () ->
+      let s = Principal.start_session p in
+      ignore (ok (Principal.activate p s svc ~role:"member" ())));
+  let topic = Cr.topic_of ~issuer:(Civ.id civ) ~cert_id:badge.Oasis_cert.Appointment.id in
+  let broker = World.broker world in
+  Alcotest.(check bool) "badge topic watched while active" true
+    (Broker.subscriber_count broker topic > 0);
+  Alcotest.(check bool) "verdict cached" true
+    ((Service.stats svc).Service.cache.Oasis_cert.Validation_cache.entries > 0);
+  ignore (Service.decommission svc ~reason:"retired");
+  World.settle world;
+  Alcotest.(check int) "badge topic released" 0 (Broker.subscriber_count broker topic);
+  let cache = (Service.stats svc).Service.cache in
+  Alcotest.(check int) "cache emptied" 0 cache.Oasis_cert.Validation_cache.entries;
+  Alcotest.(check int) "no cached negatives" 0
+    cache.Oasis_cert.Validation_cache.negative_entries
+
+(* Rules for the same role must be tried in installation order: the first
+   rule binds the unpinned parameter even when a later rule also proves. *)
+let test_rule_order_preserved () =
+  let world = World.create ~seed:17 () in
+  let svc =
+    Service.create world ~name:"ordered"
+      ~policy:{|
+        initial pick(x) <- env:src1(x);
+        initial pick(x) <- env:src2(x);
+      |}
+      ()
+  in
+  let env = Service.env svc in
+  Env.declare_fact env "src1";
+  Env.declare_fact env "src2";
+  Env.assert_fact env "src1" [ Value.Int 1 ];
+  Env.assert_fact env "src2" [ Value.Int 2 ];
+  let p = Principal.create world ~name:"p" in
+  World.run_proc world (fun () ->
+      let s = Principal.start_session p in
+      ignore (ok (Principal.activate p s svc ~role:"pick" ()));
+      (* The later rule is still reachable when explicitly pinned. *)
+      ignore (ok (Principal.activate p s svc ~role:"pick" ~args:[ Some (Value.Int 2) ] ())));
+  let args_granted =
+    List.map (fun (_, args, _) -> args) (Service.active_roles_named svc "pick")
+  in
+  Alcotest.(check bool) "first-installed rule bound the parameter" true
+    (List.mem [ Value.Int 1 ] args_granted);
+  Alcotest.(check int) "both activations granted" 2 (List.length args_granted)
+
+(* One fact change must re-examine only the RMCs watching that predicate.
+   The hospital world holds 5 active RMCs but only treating_doctor watches
+   env:assigned; changes to an unwatched predicate must cost nothing. *)
+let test_fact_change_cost_indexed () =
+  let t = make () in
+  let _session = alice_treating t ~patient:7 in
+  let env = Service.env t.hospital in
+  Env.declare_fact env "unrelated";
+  Alcotest.(check int) "one watcher of assigned" 1
+    (Service.env_watcher_count t.hospital "assigned");
+  Alcotest.(check int) "excluded is unmarked, unwatched" 0
+    (Service.env_watcher_count t.hospital "excluded");
+  Service.reset_stats t.hospital;
+  Env.assert_fact env "unrelated" [ Value.Int 1 ];
+  Alcotest.(check int) "unwatched change re-checks nothing" 0
+    (Service.stats t.hospital).Service.env_rechecks;
+  Env.assert_fact env "assigned" [ Value.Id (Principal.id t.alice); Value.Int 999 ];
+  Alcotest.(check int) "watched change re-checks exactly the watcher" 1
+    (Service.stats t.hospital).Service.env_rechecks;
+  Alcotest.(check int) "role survived the sentinel change" 1
+    (List.length (Service.active_roles_named t.hospital "treating_doctor"))
+
+(* The ablation baseline: with indexing off, the same unwatched change
+   re-scans every valid RMC — the cost the index removes. *)
+let test_fact_change_cost_linear_baseline () =
+  let config = { Service.default_config with Service.index_env_watches = false } in
+  let t = make ~config () in
+  let _session = alice_treating t ~patient:7 in
+  let env = Service.env t.hospital in
+  Env.declare_fact env "unrelated";
+  let active = List.length (Service.active_roles t.hospital) in
+  Alcotest.(check int) "five RMCs active" 5 active;
+  Service.reset_stats t.hospital;
+  Env.assert_fact env "unrelated" [ Value.Int 1 ];
+  Alcotest.(check int) "unindexed change re-scans every active RMC" active
+    (Service.stats t.hospital).Service.env_rechecks
+
+let suite =
+  ( "regressions",
+    [
+      Alcotest.test_case "non-ground negation refused" `Quick test_nonground_negation_denied;
+      Alcotest.test_case "heartbeat cancel releases timer" `Quick
+        test_heartbeat_cancel_releases_timer;
+      Alcotest.test_case "decommission releases cache watches" `Quick
+        test_decommission_releases_cache_watches;
+      Alcotest.test_case "rule order preserved" `Quick test_rule_order_preserved;
+      Alcotest.test_case "fact-change cost, indexed" `Quick test_fact_change_cost_indexed;
+      Alcotest.test_case "fact-change cost, linear baseline" `Quick
+        test_fact_change_cost_linear_baseline;
+    ] )

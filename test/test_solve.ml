@@ -140,8 +140,10 @@ let test_negated_constraint_requires_ground () =
     Rule.activation ~role:"r" ~params:[ Term.Var "z" ]
       [ (false, Rule.Constraint ("!excluded", [ Term.Var "z" ])) ]
   in
-  Alcotest.(check bool) "non-ground negation fails" true
-    (Solve.activation ctx ungrounded () = None)
+  (* A non-ground negation used to yield a silent "no proof"; it is a policy
+     configuration error and must fail loudly. *)
+  Alcotest.check_raises "non-ground negation raises" (Solve.Nonground_negation "!excluded")
+    (fun () -> ignore (Solve.activation ctx ungrounded ()))
 
 let test_exception_pattern () =
   (* The paper's Fred Smith case: doctor excluded from one patient. *)
