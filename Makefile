@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench doc clean examples
+.PHONY: all build test lint check bench doc clean examples
 
 all: build
 
@@ -10,9 +10,17 @@ build:
 test:
 	dune runtest
 
-# The full gate: build everything, run the test suite, and smoke the bench
-# harness (single cheap iteration; also proves the JSON emitter runs).
-check: build test
+# Static policy lint over the shipped policies and scenarios; exits
+# non-zero on any error-severity finding.
+lint: build
+	dune exec bin/oasisctl.exe -- lint policies/hospital.oasis --name hospital --kinds is_admin,is_rota_manager
+	dune exec bin/oasisctl.exe -- lint scenarios/hospital.scn
+	dune exec bin/oasisctl.exe -- lint scenarios/nurse_allocation.scn
+
+# The full gate: build everything, run the test suite, lint the shipped
+# policies, and smoke the bench harness (single cheap iteration; also
+# proves the JSON emitter runs).
+check: build test lint
 	dune exec bench/main.exe -- E9 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).

@@ -2,6 +2,7 @@
 
    Subcommands:
      policy-check FILE   parse and report a policy file
+     lint FILE           static policy lint with located diagnostics
      cascade             run a revocation-cascade simulation
      trust               run the Sect. 6 web-of-trust simulation
      keygen              generate a simulated key pair
@@ -112,6 +113,89 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Static policy analysis: role reachability, dead roles, cycles, dangling references")
     Term.(const analyze $ file $ svc_name $ kinds $ held)
+
+(* ---------------- lint ---------------- *)
+
+module Lint = Oasis_policy.Lint
+
+let read_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lint file svc_name kinds json strict max_depth =
+  let source = read_file file in
+  let scenario = Filename.check_suffix file ".scn" in
+  let services =
+    if scenario then
+      match Oasis_script.Scenario.extract_lint_services source with
+      | Error e ->
+          Format.eprintf "%a\n" Oasis_script.Scenario.pp_error e;
+          exit 1
+      | Ok services -> services
+    else
+      match Parser.parse source with
+      | Error e ->
+          Format.eprintf "%s: %a\n" file Parser.pp_error e;
+          exit 1
+      | Ok statements -> [ Lint.of_statements ~name:svc_name ~extra_kinds:kinds statements ]
+  in
+  (* A scenario carries its whole world, so unresolved services are real
+     errors; a lone policy file legitimately references peers. *)
+  let findings =
+    Lint.check ~closed:scenario ~max_cascade_depth:max_depth services
+    |> Lint.apply_waivers ~waivers:(Lint.waivers source)
+  in
+  let count sev = List.length (List.filter (fun f -> f.Lint.severity = sev) findings) in
+  if json then print_endline (Lint.to_json ~depths:(Lint.cascade_depths services) findings)
+  else begin
+    List.iter (fun f -> Format.printf "%s:%a\n" file Lint.pp_finding f) findings;
+    Format.printf "%s: %d error(s), %d warning(s), %d info\n" file (count Lint.Error)
+      (count Lint.Warning) (count Lint.Info)
+  end;
+  if count Lint.Error > 0 || (strict && count Lint.Warning > 0) then exit 2
+
+let lint_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Policy file (.oasis) or scenario (.scn) to lint.")
+  in
+  let svc_name =
+    Arg.(
+      value
+      & opt string "service"
+      & info [ "name" ] ~doc:"Registered name of the service (single policy files).")
+  in
+  let kinds =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "kinds" ]
+          ~doc:
+            "Appointment kinds the service issues through channels other than appoint rules \
+             (comma separated).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON report.") in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings as well as errors.")
+  in
+  let max_depth =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "max-depth" ]
+          ~doc:"Revocation-cascade depth above which L203 is reported.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static policy lint: dataflow, consistency and membership/revocation checks with \
+          located diagnostics")
+    Term.(const lint $ file $ svc_name $ kinds $ json $ strict $ max_depth)
 
 (* ---------------- cascade ---------------- *)
 
@@ -312,4 +396,4 @@ let keygen_cmd =
 let () =
   let doc = "OASIS role-based access control — reproduction toolkit" in
   let info = Cmd.info "oasisctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ policy_check_cmd; analyze_cmd; analyze_world_cmd; run_cmd; cascade_cmd; trust_cmd; keygen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ policy_check_cmd; lint_cmd; analyze_cmd; analyze_world_cmd; run_cmd; cascade_cmd; trust_cmd; keygen_cmd ]))

@@ -49,6 +49,7 @@ let () =
           priv_args = [ Term.Var "x" ];
           required_roles = [ { Rule.service = None; name = role; args = [] } ];
           constraints = [];
+          loc = Rule.no_loc;
         }
   in
   appointer "nurse_shift" "matron";
@@ -60,6 +61,7 @@ let () =
         priv_args = [ Term.Var "d"; Term.Var "pat" ];
         required_roles = [ { Rule.service = None; name = "screening_nurse"; args = [ Term.Var "n" ] } ];
         constraints = [];
+        loc = Rule.no_loc;
       };
   let matron = Principal.create world ~name:"matron" in
   let nurse = Principal.create world ~name:"nurse-niamh" in

@@ -10,6 +10,7 @@ module Rule = Oasis_policy.Rule
 module Term = Oasis_policy.Term
 module Solve = Oasis_policy.Solve
 module Parser = Oasis_policy.Parser
+module Lint = Oasis_policy.Lint
 module Rmc = Oasis_cert.Rmc
 module Appointment = Oasis_cert.Appointment
 module Cr = Oasis_cert.Credential_record
@@ -29,6 +30,7 @@ type config = {
   cache_remote_validation : bool;
   validation_retries : int;
   index_env_watches : bool;
+  strict_install : bool;
 }
 
 let default_config =
@@ -39,6 +41,7 @@ let default_config =
     cache_remote_validation = true;
     validation_retries = 2;
     index_env_watches = true;
+    strict_install = true;
   }
 
 type audit_entry = {
@@ -819,7 +822,20 @@ let handle_rpc t ~src msg =
 (* Construction                                                       *)
 (* ------------------------------------------------------------------ *)
 
+exception Policy_rejected of Lint.finding list
+
 let install_policy t statements =
+  if t.config.strict_install then begin
+    (* Lint the batch as a single open world: cross-service references and
+       world-level resolution are a deployment concern (oasisctl lint);
+       what must never reach the rule tables are the findings that can
+       only ever fail at request time (Lint.install_blocking). *)
+    let blocking =
+      Lint.check ~closed:false [ Lint.of_statements ~name:t.sname statements ]
+      |> List.filter Lint.install_blocking
+    in
+    if blocking <> [] then raise (Policy_rejected blocking)
+  end;
   List.iter
     (function
       | Parser.Activation rule -> add_activation_rule t rule

@@ -36,9 +36,22 @@ type config = {
           that actually watch the changed predicate; default on. Off falls
           back to re-scanning every issued RMC per change — kept solely as
           the baseline for the E9 benchmark ablation. *)
+  strict_install : bool;
+      (** statically lint policies before installing them and refuse
+          ({!Policy_rejected}) any with error findings that could only ever
+          fail at request time — unbound head parameters, non-ground
+          negation, arity mismatches ({!Oasis_policy.Lint.install_blocking});
+          default on. Off preserves the historical behaviour where such
+          rules install silently and every matching request is answered
+          [Bad_request]. *)
 }
 
 val default_config : config
+
+exception Policy_rejected of Oasis_policy.Lint.finding list
+(** Raised by {!install_policy} (and hence {!create}) under
+    [strict_install] when the policy contains install-blocking lint
+    errors; the findings carry positions within the policy text. *)
 
 val create :
   World.t ->
@@ -50,7 +63,9 @@ val create :
   t
 (** Creates the service, registers it on the network and in the world's
     name registry, and installs the parsed policy. Raises [Failure] on a
-    policy syntax error. The [env] defaults to a fresh environment private
+    policy syntax error and {!Policy_rejected} on install-blocking lint
+    errors (unless [config.strict_install] is off). The [env] defaults to
+    a fresh environment private
     to this service; pass a shared one to model services reading one
     domain database. *)
 
@@ -60,6 +75,12 @@ val env : t -> Oasis_policy.Env.t
 val world : t -> World.t
 
 (** {1 Policy administration} *)
+
+val install_policy : t -> Oasis_policy.Parser.statement list -> unit
+(** Installs a batch of parsed statements. Under [strict_install] the batch
+    is first linted as a single open world (cross-service references are
+    left to [oasisctl lint]) and rejected wholesale — no partial install —
+    if any finding is {!Oasis_policy.Lint.install_blocking}. *)
 
 val add_activation_rule : t -> Oasis_policy.Rule.activation -> unit
 val add_authorization_rule : t -> Oasis_policy.Rule.authorization -> unit

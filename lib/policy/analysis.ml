@@ -2,6 +2,7 @@ type service_policy = {
   sp_name : string;
   activations : Rule.activation list;
   authorizations : Rule.authorization list;
+  appointers : Rule.authorization list;
   appointment_kinds : string list;
 }
 
@@ -40,15 +41,42 @@ module Node_set = Set.Make (Node)
 module Node_map = Map.Make (Node)
 
 let of_statements ~name ?(appointment_kinds = []) statements =
+  let appointers = Parser.appointers statements in
   {
     sp_name = name;
     activations = Parser.activations statements;
     authorizations = Parser.authorizations statements;
+    appointers;
     appointment_kinds =
       List.sort_uniq compare
         (appointment_kinds
-        @ List.map (fun (a : Rule.authorization) -> a.privilege) (Parser.appointers statements));
+        @ List.map (fun (a : Rule.authorization) -> a.privilege) appointers);
   }
+
+(* Reference resolution lives in the linter; this maps its located refs
+   onto the report's location-free shape (first occurrence wins). *)
+let to_lint_service sp =
+  {
+    Lint.s_name = sp.sp_name;
+    s_activations = sp.activations;
+    s_authorizations = sp.authorizations;
+    s_appointers = sp.appointers;
+    s_extra_kinds = sp.appointment_kinds;
+  }
+
+let unresolved_of_refs refs =
+  let rec dedup seen = function
+    | [] -> List.rev seen
+    | u :: rest -> dedup (if List.mem u seen then seen else u :: seen) rest
+  in
+  List.map
+    (function
+      | Lint.Ref_service { at; rule; service; _ } -> Unknown_service { at; rule; service }
+      | Lint.Ref_role { at; rule; service; role; _ } -> Unknown_role { at; rule; service; role }
+      | Lint.Ref_kind { at; rule; issuer; kind; _ } ->
+          Unknown_appointment { at; rule; issuer; kind })
+    refs
+  |> dedup []
 
 let analyse ?held_appointments world =
   let service_of name = List.find_opt (fun sp -> String.equal sp.sp_name name) world in
@@ -58,49 +86,9 @@ let analyse ?held_appointments world =
     | None ->
         List.concat_map (fun sp -> List.map (fun kind -> (sp.sp_name, kind)) sp.appointment_kinds) world
   in
-  let defines_role sp role =
-    List.exists (fun (a : Rule.activation) -> String.equal a.role role) sp.activations
+  let unresolved =
+    unresolved_of_refs (Lint.resolve_refs ~closed:true (List.map to_lint_service world))
   in
-  (* Collect unresolved references once, independent of reachability. *)
-  let unresolved = ref [] in
-  let note u = if not (List.mem u !unresolved) then unresolved := u :: !unresolved in
-  let resolve_ref ~at ~rule (r : Rule.cred_ref) ~kind_ref =
-    let target = match r.service with None -> at | Some s -> s in
-    match service_of target with
-    | None ->
-        note (Unknown_service { at; rule; service = target });
-        None
-    | Some sp ->
-        if kind_ref then begin
-          if not (List.mem r.name sp.appointment_kinds) then
-            note (Unknown_appointment { at; rule; issuer = target; kind = r.name });
-          Some sp
-        end
-        else begin
-          if not (defines_role sp r.name) then
-            note (Unknown_role { at; rule; service = target; role = r.name });
-          Some sp
-        end
-  in
-  List.iter
-    (fun sp ->
-      List.iter
-        (fun (a : Rule.activation) ->
-          List.iter
-            (function
-              | Rule.Prereq r -> ignore (resolve_ref ~at:sp.sp_name ~rule:a.role r ~kind_ref:false)
-              | Rule.Appointment r ->
-                  ignore (resolve_ref ~at:sp.sp_name ~rule:a.role r ~kind_ref:true)
-              | Rule.Constraint _ -> ())
-            a.conditions)
-        sp.activations;
-      List.iter
-        (fun (auth : Rule.authorization) ->
-          List.iter
-            (fun r -> ignore (resolve_ref ~at:sp.sp_name ~rule:("priv " ^ auth.privilege) r ~kind_ref:false))
-            auth.required_roles)
-        sp.authorizations)
-    world;
   (* Reachability fixpoint over (service, role). Constraints are assumed
      satisfiable; appointments must be held; prerequisites must already be
      reachable. *)
@@ -220,7 +208,7 @@ let analyse ?held_appointments world =
     grantable_privileges = priv_names grantable;
     dead_privileges = priv_names dead;
     prereq_cycles;
-    unresolved = List.rev !unresolved;
+    unresolved;
   }
 
 let pp_pair ppf (service, name) = Format.fprintf ppf "%s@%s" name service

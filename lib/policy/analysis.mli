@@ -23,7 +23,8 @@
 type service_policy = {
   sp_name : string;  (** registered service name *)
   activations : Rule.activation list;
-  authorizations : Rule.authorization list;
+  authorizations : Rule.authorization list;  (** [priv] rules *)
+  appointers : Rule.authorization list;  (** [appoint] rules *)
   appointment_kinds : string list;  (** kinds this service can issue *)
 }
 

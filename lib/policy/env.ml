@@ -35,6 +35,25 @@ let numeric_cmp op = function
       | _ -> op (Value.compare a b) 0)
   | _ -> false
 
+(* The static shape of the built-ins registered by [create]. `Pure
+   predicates depend only on their arguments: their truth value never
+   changes spontaneously, so a membership mark on one is unmonitorable
+   (nothing ever re-triggers the check). `Timed predicates read the clock
+   and are monitored by re-check timers. The linter consumes this list;
+   keep it in step with [register_builtins]. *)
+let builtin_predicates =
+  [
+    ("eq", 2, `Pure);
+    ("ne", 2, `Pure);
+    ("lt", 2, `Pure);
+    ("le", 2, `Pure);
+    ("gt", 2, `Pure);
+    ("ge", 2, `Pure);
+    ("before", 1, `Timed);
+    ("after", 1, `Timed);
+    ("hour_between", 2, `Timed);
+  ]
+
 let register_builtins t =
   let reg name f = Hashtbl.replace t.computed name f in
   reg "eq" (numeric_cmp ( = ));

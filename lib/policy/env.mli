@@ -28,6 +28,14 @@ val create : Oasis_util.Clock.t -> t
 
 val clock : t -> Oasis_util.Clock.t
 
+val builtin_predicates : (string * int * [ `Pure | `Timed ]) list
+(** The computed predicates {!create} registers, as [(name, arity, kind)].
+    [`Pure] predicates depend only on their arguments — their truth value
+    never changes spontaneously, so a membership mark on one cannot be
+    monitored; [`Timed] predicates read the clock and are re-checked by
+    timers ({!next_change_time}). The policy linter keys its
+    arity-consistency and unmonitorable-membership checks off this list. *)
+
 val declare_fact : t -> string -> unit
 (** Declares a fact predicate that may (for now) have no tuples — e.g. an
     exclusion list with no exclusions. [check] and [enumerate] on undeclared

@@ -40,14 +40,20 @@ let is_ident_char c =
 let tokenize src =
   let tokens = ref [] in
   let line = ref 1 in
+  let bol = ref 0 (* index just past the last newline: column = i - bol + 1 *) in
   let n = String.length src in
   let i = ref 0 in
-  let push t = tokens := (t, !line) :: !tokens in
+  let tok_start = ref 0 in
+  let push t =
+    tokens := (t, { Rule.line = !line; col = !tok_start - !bol + 1 }) :: !tokens
+  in
   while !i < n do
     let c = src.[!i] in
+    tok_start := !i;
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      bol := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
@@ -107,17 +113,19 @@ let tokenize src =
 
 exception Parse_error of int * string
 
-type state = { mutable toks : (token * int) list; mutable last_line : int }
+type state = { mutable toks : (token * Rule.loc) list; mutable last_loc : Rule.loc }
 
 let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
 
-let line st = match st.toks with [] -> st.last_line | (_, l) :: _ -> l
+let pos st = match st.toks with [] -> st.last_loc | (_, l) :: _ -> l
+
+let line st = (pos st).Rule.line
 
 let advance st =
   match st.toks with
   | [] -> ()
   | (_, l) :: rest ->
-      st.last_line <- l;
+      st.last_loc <- l;
       st.toks <- rest
 
 let fail st message = raise (Parse_error (line st, message))
@@ -238,7 +246,7 @@ let condition_list st =
   in
   more []
 
-let authorization_body st ~keyword =
+let authorization_body st ~keyword ~loc =
   let privilege = ident st in
   let priv_args = term_list st in
   expect st Tarrow (Printf.sprintf "expected '<-' after %s head" keyword);
@@ -263,16 +271,18 @@ let authorization_body st ~keyword =
     priv_args;
     required_roles = List.rev required_roles;
     constraints = List.rev constraints;
+    loc;
   }
 
 let statement st =
+  let loc = pos st in
   match peek st with
   | Some (Tident "priv") ->
       advance st;
-      Authorization (authorization_body st ~keyword:"priv")
+      Authorization (authorization_body st ~keyword:"priv" ~loc)
   | Some (Tident "appoint") ->
       advance st;
-      Appointer (authorization_body st ~keyword:"appoint")
+      Appointer (authorization_body st ~keyword:"appoint" ~loc)
   | Some (Tident _) ->
       let initial =
         match peek st with
@@ -291,13 +301,13 @@ let statement st =
         | _ -> []
       in
       expect st Tsemi "expected ';' at end of statement";
-      (try Activation (Rule.activation ~initial ~role ~params body)
+      (try Activation (Rule.activation ~initial ~loc ~role ~params body)
        with Invalid_argument msg -> fail st msg)
   | _ -> fail st "expected a rule"
 
 let parse src =
   match
-    let st = { toks = tokenize src; last_line = 1 } in
+    let st = { toks = tokenize src; last_loc = { Rule.line = 1; col = 1 } } in
     let rec loop acc = match peek st with None -> List.rev acc | Some _ -> loop (statement st :: acc) in
     loop []
   with

@@ -1,3 +1,11 @@
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+
+let pp_loc ppf { line; col } =
+  if line = 0 then Format.pp_print_string ppf "<unlocated>"
+  else Format.fprintf ppf "%d:%d" line col
+
 type cred_ref = { service : string option; name : string; args : Term.t list }
 
 type condition =
@@ -26,9 +34,10 @@ type activation = {
   conditions : condition list;
   membership : bool list;
   initial : bool;
+  loc : loc;
 }
 
-let activation ?(initial = false) ~role ~params tagged =
+let activation ?(initial = false) ?(loc = no_loc) ~role ~params tagged =
   let conditions = List.map snd tagged in
   let membership = List.map fst tagged in
   if initial && List.exists (function Prereq _ -> true | _ -> false) conditions then
@@ -36,13 +45,14 @@ let activation ?(initial = false) ~role ~params tagged =
       (Printf.sprintf "Rule.activation: initial role %s cannot require a prerequisite role" role);
   if (not initial) && conditions = [] then
     invalid_arg (Printf.sprintf "Rule.activation: non-initial role %s needs conditions" role);
-  { role; params; conditions; membership; initial }
+  { role; params; conditions; membership; initial; loc }
 
 type authorization = {
   privilege : string;
   priv_args : Term.t list;
   required_roles : cred_ref list;
   constraints : (string * Term.t list) list;
+  loc : loc;
 }
 
 let pp_activation ppf rule =

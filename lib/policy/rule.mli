@@ -8,6 +8,16 @@
     conditions that "must continue to be true for the role to remain
     active"; authorization rules guard service invocation. *)
 
+(** Source position of a rule in its policy file: 1-based line and column
+    of the statement's first token. Rules built programmatically carry
+    {!no_loc} (line 0). The linter reports findings at these positions. *)
+type loc = { line : int; col : int }
+
+val no_loc : loc
+
+val pp_loc : Format.formatter -> loc -> unit
+(** ["line:col"], or ["<unlocated>"] for {!no_loc}. *)
+
 (** A reference to a credential-shaped condition. [service = None] means the
     rule-owning service itself; [Some name] is a symbolic service name
     resolved against the world's registry when policy is installed. *)
@@ -36,10 +46,12 @@ type activation = {
   initial : bool;
       (** an initial role starts a session; its rule has no prerequisite
           roles (Sect. 2) *)
+  loc : loc;  (** source position; {!no_loc} for programmatic rules *)
 }
 
 val activation :
   ?initial:bool ->
+  ?loc:loc ->
   role:string ->
   params:Term.t list ->
   (bool * condition) list ->
@@ -56,6 +68,7 @@ type authorization = {
   priv_args : Term.t list;
   required_roles : cred_ref list;
   constraints : (string * Term.t list) list;
+  loc : loc;  (** source position; {!no_loc} for programmatic rules *)
 }
 
 val pp_activation : Format.formatter -> activation -> unit

@@ -378,13 +378,20 @@ let split_words s =
   flush ();
   List.rev !words
 
-(* Collects a service's policy block: lines until a '}' line. *)
-let rec collect_policy lines acc =
-  match lines with
-  | [] -> None
-  | (_, text) :: rest ->
-      if String.trim text = "}" then Some (String.concat "\n" (List.rev acc), rest)
-      else collect_policy rest ((strip_comment text) :: acc)
+(* Collects a service's policy block: lines until a '}' line. [header] is
+   the line number of the opening "service NAME {"; the returned text is
+   padded with that many leading newlines so parser positions (and hence
+   lint/parse diagnostics) are absolute within the scenario file. *)
+let collect_policy ~header lines =
+  let rec go lines acc =
+    match lines with
+    | [] -> None
+    | (_, text) :: rest ->
+        if String.trim text = "}" then
+          Some (String.make header '\n' ^ String.concat "\n" (List.rev acc), rest)
+        else go rest (strip_comment text :: acc)
+  in
+  go lines []
 
 let run_lines lines =
   let st = fresh_state () in
@@ -403,7 +410,7 @@ let run_lines lines =
               | None -> fail line "bad seed %s" n);
               step rest
           | [ "service"; name; "{" ] -> (
-              match collect_policy rest [] with
+              match collect_policy ~header:line rest with
               | None -> fail line "unterminated service block for %s" name
               | Some (policy, rest) ->
                   let w = world st line in
@@ -411,7 +418,13 @@ let run_lines lines =
                   | svc ->
                       Hashtbl.replace st.services name svc;
                       say st "service %s installed" name
-                  | exception Failure m -> fail line "%s" m);
+                  | exception Failure m -> fail line "%s" m
+                  | exception Service.Policy_rejected findings ->
+                      fail line "policy for %s rejected: %s" name
+                        (String.concat "; "
+                           (List.map
+                              (Format.asprintf "%a" Oasis_policy.Lint.pp_finding)
+                              findings)));
                   step rest)
           | [ "principal"; name ] ->
               Hashtbl.replace st.principals name (Principal.create (world st line) ~name);
@@ -505,7 +518,9 @@ let run_file path =
 (* Static extraction for analyze-world                                *)
 (* ------------------------------------------------------------------ *)
 
-let extract_policies source =
+(* The [service NAME { … }] blocks of a scenario, parsed. Statement
+   positions are absolute within the scenario file (see collect_policy). *)
+let gather_blocks source =
   let lines = String.split_on_char '\n' source |> List.mapi (fun i l -> (i + 1, l)) in
   let rec gather acc = function
     | [] -> List.rev acc
@@ -513,47 +528,69 @@ let extract_policies source =
         let text = String.trim (strip_comment raw) in
         match split_words text with
         | [ "service"; name; "{" ] -> (
-            match collect_policy rest [] with
+            match collect_policy ~header:line rest with
             | None -> fail line "unterminated service block for %s" name
             | Some (policy, rest) -> (
                 match Oasis_policy.Parser.parse policy with
                 | Error e ->
-                    fail (line + e.Oasis_policy.Parser.line)
-                      "in service %s: %s" name e.Oasis_policy.Parser.message
-                | Ok statements ->
-                    gather ((name, statements) :: acc) rest))
+                    fail e.Oasis_policy.Parser.line "in service %s: %s" name
+                      e.Oasis_policy.Parser.message
+                | Ok statements -> gather ((name, statements) :: acc) rest))
         | _ -> gather acc rest)
   in
-  match gather [] lines with
+  gather [] lines
+
+(* The implicit CIV can issue whatever kind any rule asks of it. *)
+let civ_kinds services =
+  List.concat_map
+    (fun (_, statements) ->
+      List.concat_map
+        (fun (a : Oasis_policy.Rule.activation) ->
+          List.filter_map
+            (function
+              | Oasis_policy.Rule.Appointment { Oasis_policy.Rule.service = Some "civ"; name; _ }
+                ->
+                  Some name
+              | _ -> None)
+            a.conditions)
+        (Oasis_policy.Parser.activations statements))
+    services
+  |> List.sort_uniq compare
+
+let extract_policies source =
+  match gather_blocks source with
   | exception Stop e -> Error e
   | services ->
-      (* The implicit CIV can issue whatever kind any rule asks of it. *)
-      let civ_kinds =
-        List.concat_map
-          (fun (_, statements) ->
-            List.concat_map
-              (fun (a : Oasis_policy.Rule.activation) ->
-                List.filter_map
-                  (function
-                    | Oasis_policy.Rule.Appointment
-                        { Oasis_policy.Rule.service = Some "civ"; name; _ } ->
-                        Some name
-                    | _ -> None)
-                  a.conditions)
-              (Oasis_policy.Parser.activations statements))
-          services
-        |> List.sort_uniq compare
-      in
       let civ =
         {
           Oasis_policy.Analysis.sp_name = "civ";
           activations = [];
           authorizations = [];
-          appointment_kinds = civ_kinds;
+          appointers = [];
+          appointment_kinds = civ_kinds services;
         }
       in
       Ok
         (civ
         :: List.map
              (fun (name, statements) -> Oasis_policy.Analysis.of_statements ~name statements)
+             services)
+
+let extract_lint_services source =
+  match gather_blocks source with
+  | exception Stop e -> Error e
+  | services ->
+      let civ =
+        {
+          Oasis_policy.Lint.s_name = "civ";
+          s_activations = [];
+          s_authorizations = [];
+          s_appointers = [];
+          s_extra_kinds = civ_kinds services;
+        }
+      in
+      Ok
+        (civ
+        :: List.map
+             (fun (name, statements) -> Oasis_policy.Lint.of_statements ~name statements)
              services)

@@ -61,3 +61,8 @@ val extract_policies : string -> (Oasis_policy.Analysis.service_policy list, err
     implicit CIV, which can issue any kind the policies mention), for
     whole-world static analysis without executing anything —
     [oasisctl analyze-world]. *)
+
+val extract_lint_services : string -> (Oasis_policy.Lint.service list, error) result
+(** Same extraction, shaped for the policy linter ([oasisctl lint]); the
+    implicit CIV appears with the mentioned kinds as [s_extra_kinds].
+    Statement locations are absolute within the scenario file. *)

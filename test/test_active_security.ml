@@ -60,10 +60,13 @@ let test_env_assertion_falsifies_negation () =
       | _ -> Alcotest.fail "exclusion not enforced at invocation")
 
 let test_monitored_negation_deactivates () =
-  (* A policy where the exclusion IS membership-monitored. *)
+  (* A policy where the exclusion IS membership-monitored. The negation is
+     only ground when the caller pins [u], which the lint gate (L003)
+     conservatively rejects — turned off here to test that runtime path. *)
   let world = World.create ~seed:5 () in
   let svc =
     Service.create world ~name:"svc"
+      ~config:{ Service.default_config with strict_install = false }
       ~policy:
         {|
           initial base <- env:eq(1, 1);

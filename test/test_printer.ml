@@ -116,7 +116,7 @@ let authorization_gen =
        let* args = terms_gen in
        return (name, args))
   in
-  return (Parser.Authorization { Rule.privilege; priv_args; required_roles; constraints })
+  return (Parser.Authorization { Rule.privilege; priv_args; required_roles; constraints; loc = Rule.no_loc })
 
 let appointer_gen =
   let+ statement = authorization_gen in

@@ -21,11 +21,15 @@ open Fixtures
 
 (* A negated constraint over an unbound variable must be refused as a bad
    request (negation as failure is only sound on ground instances), while
-   the same role pinned to a concrete argument activates normally. *)
+   the same role pinned to a concrete argument activates normally. The
+   lint gate rejects this policy at install (L003), so strict_install is
+   off: this test proves the runtime path behind the gate stays sound. *)
 let test_nonground_negation_denied () =
   let world = World.create ~seed:11 () in
   let svc =
-    Service.create world ~name:"risky" ~policy:"initial risky(u) <- env:!banned(u);" ()
+    Service.create world ~name:"risky"
+      ~config:{ Service.default_config with strict_install = false }
+      ~policy:"initial risky(u) <- env:!banned(u);" ()
   in
   Env.declare_fact (Service.env svc) "banned";
   let p = Principal.create world ~name:"p" in

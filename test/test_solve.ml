@@ -228,6 +228,7 @@ let test_authorization () =
       priv_args = [ Term.Var "d"; Term.Var "p" ];
       required_roles = [ cref "treating" [ Term.Var "d"; Term.Var "p" ] ];
       constraints = [ ("!excluded", [ Term.Var "d"; Term.Var "p" ]) ];
+      loc = Rule.no_loc;
     }
   in
   let seed =

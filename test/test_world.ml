@@ -74,10 +74,13 @@ let test_multiple_sessions_per_principal () =
 let test_policy_errors_contained () =
   (* A rule with an unbound head parameter, or an unknown predicate, is a
      configuration bug: the service must refuse with Bad_request and stay
-     alive — never crash the node. *)
+     alive — never crash the node. The strict-install lint gate would
+     refuse this policy outright, so it is turned off here to exercise the
+     runtime containment path. *)
   let world = World.create () in
   let svc =
     Service.create world ~name:"svc"
+      ~config:{ Service.default_config with strict_install = false }
       ~policy:
         {|
           initial broken_head(u) <- env:eq(1, 1);
