@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint check bench doc clean examples
+.PHONY: all build test lint trace-smoke check bench doc clean examples
 
 all: build
 
@@ -17,11 +17,17 @@ lint: build
 	dune exec bin/oasisctl.exe -- lint scenarios/hospital.scn
 	dune exec bin/oasisctl.exe -- lint scenarios/nurse_allocation.scn
 
+# Traces the hospital scenario end to end and schema-checks every JSONL
+# event line (--check re-parses what the sink wrote); proves the whole
+# observability pipeline — world registry, trace sinks, exporter — runs.
+trace-smoke: build
+	dune exec bin/oasisctl.exe -- trace scenarios/hospital.scn --check -o /dev/null
+
 # The full gate: build everything, run the test suite, lint the shipped
-# policies, and smoke the bench harness (single cheap iteration; also
-# proves the JSON emitter runs).
-check: build test lint
-	dune exec bench/main.exe -- E9 --smoke
+# policies, smoke the trace pipeline, and smoke the bench harness
+# (single cheap iteration; also proves the JSON emitters run).
+check: build test lint trace-smoke
+	dune exec bench/main.exe -- E9 E11 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).
 bench:

@@ -3,6 +3,9 @@
    Subcommands:
      policy-check FILE   parse and report a policy file
      lint FILE           static policy lint with located diagnostics
+     run FILE            execute a scenario script and check expectations
+     trace FILE          execute a scenario, stream its JSONL event timeline
+     stats FILE          final metrics of a scenario / summary of a timeline
      cascade             run a revocation-cascade simulation
      trust               run the Sect. 6 web-of-trust simulation
      keygen              generate a simulated key pair
@@ -376,6 +379,126 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a scenario script (.scn) and check its expectations")
     Term.(const run_scenario $ file)
 
+(* ---------------- trace ---------------- *)
+
+module Obs = Oasis_obs.Obs
+
+let trace file output check =
+  let oc, close =
+    match output with
+    | None | Some "-" -> (stdout, fun () -> ())
+    | Some path ->
+        let oc = open_out path in
+        (oc, fun () -> close_out oc)
+  in
+  let bad = ref 0 in
+  let emitted = ref 0 in
+  let sink event =
+    let line = Obs.event_to_jsonl event in
+    (if check then
+       match Obs.validate_jsonl_line line with
+       | Ok () -> ()
+       | Error why ->
+           incr bad;
+           Printf.eprintf "SCHEMA: %s: %s\n" why line);
+    incr emitted;
+    output_string oc line;
+    output_char oc '\n'
+  in
+  match Oasis_script.Scenario.run_file ~sink file with
+  | Error e ->
+      close ();
+      Format.eprintf "%a\n" Oasis_script.Scenario.pp_error e;
+      exit 1
+  | Ok outcome ->
+      close ();
+      Printf.eprintf "%d event(s)\n" !emitted;
+      List.iter (fun f -> Printf.eprintf "EXPECTATION FAILED: %s\n" f) outcome.failures;
+      if !bad > 0 then begin
+        Printf.eprintf "%d event(s) failed the JSONL schema check\n" !bad;
+        exit 2
+      end;
+      if outcome.failures <> [] then exit 2
+
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario script to trace.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the JSONL timeline here ('-' = stdout).")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Validate every line against the event schema.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Execute a scenario and stream its event timeline (role activations, validation \
+          callbacks, env-change revocation cascades) as JSONL")
+    Term.(const trace $ file $ output $ check)
+
+(* ---------------- stats ---------------- *)
+
+let print_metrics metrics =
+  let is_int v = Float.is_integer v && Float.abs v < 1e15 in
+  List.iter
+    (fun (key, v) ->
+      if is_int v then Printf.printf "%-60s %d\n" key (int_of_float v)
+      else Printf.printf "%-60s %g\n" key v)
+    metrics
+
+let stats file =
+  if Filename.check_suffix file ".scn" then begin
+    match Oasis_script.Scenario.run_file file with
+    | Error e ->
+        Format.eprintf "%a\n" Oasis_script.Scenario.pp_error e;
+        exit 1
+    | Ok outcome ->
+        print_metrics outcome.Oasis_script.Scenario.metrics;
+        List.iter (fun f -> Printf.eprintf "EXPECTATION FAILED: %s\n" f) outcome.failures;
+        if outcome.failures <> [] then exit 2
+  end
+  else begin
+    (* A JSONL timeline from `oasisctl trace`: summarise event counts. *)
+    let counts = Hashtbl.create 32 in
+    let ic = open_in file in
+    let bad = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match Obs.event_of_jsonl line with
+           | Ok event ->
+               let key = Hashtbl.find_opt counts event.Obs.name |> Option.value ~default:0 in
+               Hashtbl.replace counts event.Obs.name (key + 1)
+           | Error why ->
+               incr bad;
+               Printf.eprintf "SCHEMA: %s: %s\n" why line
+       done
+     with End_of_file -> close_in ic);
+    Hashtbl.fold (fun name n acc -> (name, n) :: acc) counts []
+    |> List.sort compare
+    |> List.iter (fun (name, n) -> Printf.printf "%-40s %d\n" name n);
+    if !bad > 0 then exit 2
+  end
+
+let stats_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Scenario (.scn) to run, or a JSONL timeline to summarise.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a scenario and print its final metrics registry, or summarise event counts of a \
+          JSONL timeline")
+    Term.(const stats $ file)
+
 (* ---------------- keygen ---------------- *)
 
 let keygen seed =
@@ -396,4 +519,4 @@ let keygen_cmd =
 let () =
   let doc = "OASIS role-based access control — reproduction toolkit" in
   let info = Cmd.info "oasisctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ policy_check_cmd; lint_cmd; analyze_cmd; analyze_world_cmd; run_cmd; cascade_cmd; trust_cmd; keygen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ policy_check_cmd; lint_cmd; analyze_cmd; analyze_world_cmd; run_cmd; trace_cmd; stats_cmd; cascade_cmd; trust_cmd; keygen_cmd ]))

@@ -1,30 +1,39 @@
 module Ident = Oasis_util.Ident
+module Obs = Oasis_obs.Obs
 
 type verdict = Valid | Invalid
 
 type t = {
   table : verdict Ident.Tbl.t;
-  mutable hits : int;
-  mutable negative_hits : int;
-  mutable misses : int;
-  mutable invalidations : int;
+  c_hits : Obs.Counter.t;
+  c_negative_hits : Obs.Counter.t;
+  c_misses : Obs.Counter.t;
+  c_invalidations : Obs.Counter.t;
 }
 
-let create () =
-  { table = Ident.Tbl.create 64; hits = 0; negative_hits = 0; misses = 0; invalidations = 0 }
+let create ?obs ?(labels = []) () =
+  let obs = match obs with Some obs -> obs | None -> Obs.create () in
+  let counter name = Obs.counter obs name ~labels in
+  {
+    table = Ident.Tbl.create 64;
+    c_hits = counter "vcache.hits";
+    c_negative_hits = counter "vcache.negative_hits";
+    c_misses = counter "vcache.misses";
+    c_invalidations = counter "vcache.invalidations";
+  }
 
 let cache_valid t cert_id = Ident.Tbl.replace t.table cert_id Valid
 
 let lookup t cert_id =
   match Ident.Tbl.find_opt t.table cert_id with
   | Some Valid as v ->
-      t.hits <- t.hits + 1;
+      Obs.Counter.inc t.c_hits;
       v
   | Some Invalid as v ->
-      t.negative_hits <- t.negative_hits + 1;
+      Obs.Counter.inc t.c_negative_hits;
       v
   | None ->
-      t.misses <- t.misses + 1;
+      Obs.Counter.inc t.c_misses;
       None
 
 let invalidate t cert_id =
@@ -36,7 +45,7 @@ let invalidate t cert_id =
          verdict: later presentations of the dead certificate answer [false]
          locally instead of re-issuing the callback. *)
       Ident.Tbl.replace t.table cert_id Invalid;
-      t.invalidations <- t.invalidations + 1
+      Obs.Counter.inc t.c_invalidations
 
 let clear t = Ident.Tbl.reset t.table
 
@@ -57,16 +66,16 @@ let stats (t : t) =
       t.table (0, 0)
   in
   {
-    hits = t.hits;
-    negative_hits = t.negative_hits;
-    misses = t.misses;
-    invalidations = t.invalidations;
+    hits = Obs.Counter.value t.c_hits;
+    negative_hits = Obs.Counter.value t.c_negative_hits;
+    misses = Obs.Counter.value t.c_misses;
+    invalidations = Obs.Counter.value t.c_invalidations;
     entries;
     negative_entries;
   }
 
 let reset_stats (t : t) =
-  t.hits <- 0;
-  t.negative_hits <- 0;
-  t.misses <- 0;
-  t.invalidations <- 0
+  Obs.Counter.reset t.c_hits;
+  Obs.Counter.reset t.c_negative_hits;
+  Obs.Counter.reset t.c_misses;
+  Obs.Counter.reset t.c_invalidations

@@ -27,7 +27,10 @@ type t
 
 type verdict = Valid | Invalid
 
-val create : unit -> t
+val create : ?obs:Oasis_obs.Obs.t -> ?labels:Oasis_obs.Obs.label list -> unit -> t
+(** Hit/miss/invalidation counters register into [obs] (default: a private
+    registry) under [vcache.*] with the given [labels] — callers owning
+    several caches distinguish them with e.g. [("service", name)]. *)
 
 val cache_valid : t -> Oasis_util.Ident.t -> unit
 (** Records a positive callback verdict for a certificate id. *)

@@ -18,6 +18,7 @@ module Vcache = Oasis_cert.Validation_cache
 module Secret = Oasis_crypto.Secret
 module Elgamal = Oasis_crypto.Elgamal
 module Challenge = Oasis_crypto.Challenge
+module Obs = Oasis_obs.Obs
 
 let log = Logs.Src.create "oasis.service" ~doc:"OASIS service events"
 
@@ -80,19 +81,22 @@ type issued_appt = {
   mutable appt_beats : Heartbeat.emitter option;
 }
 
-type mutable_stats = {
-  mutable activations_granted : int;
-  mutable activations_denied : int;
-  mutable invocations_granted : int;
-  mutable invocations_denied : int;
-  mutable appointments_granted : int;
-  mutable appointments_denied : int;
-  mutable callbacks_in : int;
-  mutable callbacks_out : int;
-  mutable validation_failures : int;
-  mutable revocations : int;
-  mutable cascade_deactivations : int;
-  mutable env_rechecks : int;
+(* Per-service counters in the world's registry, labelled
+   [service=<name>] — e.g. [service.env_rechecks{service=hospital}]. The
+   public [stats] record below is a view over them. *)
+type counters = {
+  activations_granted : Obs.Counter.t;
+  activations_denied : Obs.Counter.t;
+  invocations_granted : Obs.Counter.t;
+  invocations_denied : Obs.Counter.t;
+  appointments_granted : Obs.Counter.t;
+  appointments_denied : Obs.Counter.t;
+  callbacks_in : Obs.Counter.t;
+  callbacks_out : Obs.Counter.t;
+  validation_failures : Obs.Counter.t;
+  revocations : Obs.Counter.t;
+  cascade_deactivations : Obs.Counter.t;
+  env_rechecks : Obs.Counter.t;
 }
 
 type stats = {
@@ -115,6 +119,7 @@ type t = {
   world : World.t;
   sid : Ident.t;
   sname : string;
+  obs : Obs.t;
   config : config;
   env : Env.t;
   secret : Secret.t;
@@ -130,7 +135,7 @@ type t = {
   appts : issued_appt Ident.Tbl.t;
   cache : Vcache.t;
   cache_watched : watch Ident.Tbl.t;  (* remote cert id -> invalidation watch *)
-  st : mutable_stats;
+  st : counters;
   mutable audit : audit_entry list;
 }
 
@@ -247,16 +252,28 @@ let unindex_env_watches t issued =
    the callback again. A plain [false] wire verdict is never cached — RMC
    validity depends on the presented session key, not the cert id alone. *)
 let validate_remote t ~make_request ~cert_id ~issuer =
+  let trace_verdict source ok =
+    if Obs.tracing t.obs then
+      Obs.event t.obs "svc.validate"
+        ~labels:
+          [
+            ("service", t.sname);
+            ("cert", Ident.to_string cert_id);
+            ("source", source);
+            ("ok", if ok then "true" else "false");
+          ];
+    ok
+  in
   let cached = if t.config.cache_remote_validation then Vcache.lookup t.cache cert_id else None in
   match cached with
-  | Some Vcache.Valid -> true
-  | Some Vcache.Invalid -> false
+  | Some Vcache.Valid -> trace_verdict "cache" true
+  | Some Vcache.Invalid -> trace_verdict "cache" false
   | None -> (
       (* Datagram loss must not turn into a spurious denial: retry a bounded
          number of times before giving up (the verdict itself is never
          retried — a 'false' answer is authoritative). *)
       let rec attempt tries_left =
-        t.st.callbacks_out <- t.st.callbacks_out + 1;
+        Obs.Counter.inc t.st.callbacks_out;
         match Network.rpc (World.network t.world) ~src:t.sid ~dst:issuer (make_request ()) with
         | reply -> reply
         | exception Network.Rpc_dropped ->
@@ -279,9 +296,9 @@ let validate_remote t ~make_request ~cert_id ~issuer =
               Ident.Tbl.replace t.cache_watched cert_id watch
             end
           end;
-          ok
-      | _ -> false
-      | exception Network.Rpc_dropped -> false)
+          trace_verdict "callback" ok
+      | _ -> trace_verdict "callback" false
+      | exception Network.Rpc_dropped -> trace_verdict "callback_lost" false)
 
 (* Challenge-response against a claimed public key (Sect. 4.1). *)
 let challenge_key t ~dst ~key =
@@ -321,7 +338,7 @@ let validate_presented t ~src ~session_key (creds : Protocol.credentials) =
     List.filter
       (fun rmc ->
         let ok = rmc_ok rmc in
-        if not ok then t.st.validation_failures <- t.st.validation_failures + 1;
+        if not ok then Obs.Counter.inc t.st.validation_failures;
         ok)
       creds.rmcs
   in
@@ -329,7 +346,7 @@ let validate_presented t ~src ~session_key (creds : Protocol.credentials) =
     List.filter
       (fun appt ->
         let ok = appt_ok appt in
-        if not ok then t.st.validation_failures <- t.st.validation_failures + 1;
+        if not ok then Obs.Counter.inc t.st.validation_failures;
         ok)
       creds.appointments
   in
@@ -401,8 +418,18 @@ let deactivate_rmc t (issued : issued_rmc) ~reason ~cascade =
   match Cr.revoke t.crs issued.rmc.Rmc.id ~at:(World.now t.world) ~reason with
   | None -> () (* already revoked *)
   | Some record ->
-      t.st.revocations <- t.st.revocations + 1;
-      if cascade then t.st.cascade_deactivations <- t.st.cascade_deactivations + 1;
+      Obs.Counter.inc t.st.revocations;
+      if cascade then Obs.Counter.inc t.st.cascade_deactivations;
+      if Obs.tracing t.obs then
+        Obs.event t.obs "svc.revoke"
+          ~labels:
+            [
+              ("service", t.sname);
+              ("cert", Ident.to_string issued.rmc.Rmc.id);
+              ("role", issued.rmc.Rmc.role);
+              ("cascade", if cascade then "true" else "false");
+              ("reason", reason);
+            ];
       Log.debug (fun m ->
           m "%s deactivates %s (%s): %s" t.sname (Ident.to_string issued.rmc.Rmc.id)
             issued.rmc.Rmc.role reason);
@@ -417,7 +444,7 @@ let revoke_appt t (ia : issued_appt) ~reason =
   match Cr.revoke t.crs ia.appt.Appointment.id ~at:(World.now t.world) ~reason with
   | None -> false
   | Some record ->
-      t.st.revocations <- t.st.revocations + 1;
+      Obs.Counter.inc t.st.revocations;
       (match ia.appt_beats with Some e -> Heartbeat.stop_emitter e | None -> ());
       announce_invalidation t record reason;
       true
@@ -535,7 +562,15 @@ let monitor_membership t (issued : issued_rmc) (proof : Solve.proof) =
    [env_rechecks] counts RMCs examined per change in both modes, which is
    what the scale tests and the E9 benchmark assert on. *)
 let recheck_env_watches t issued changed_name =
-  t.st.env_rechecks <- t.st.env_rechecks + 1;
+  Obs.Counter.inc t.st.env_rechecks;
+  if Obs.tracing t.obs then
+    Obs.event t.obs "svc.recheck"
+      ~labels:
+        [
+          ("service", t.sname);
+          ("cert", Ident.to_string issued.rmc.Rmc.id);
+          ("pred", changed_name);
+        ];
   List.iter
     (fun (name, args) ->
       if
@@ -547,9 +582,14 @@ let recheck_env_watches t issued changed_name =
           ~reason:(Printf.sprintf "constraint %s no longer holds" name))
     issued.env_watch
 
+let trace_env_change t changed_name =
+  if Obs.tracing t.obs then
+    Obs.event t.obs "env.change" ~labels:[ ("service", t.sname); ("pred", changed_name) ]
+
 let install_env_listener t =
   if t.config.index_env_watches then
     Env.on_change t.env (fun changed_name _args _change ->
+        trace_env_change t changed_name;
         match Hashtbl.find_opt t.env_index changed_name with
         | None -> ()
         | Some watchers ->
@@ -562,6 +602,7 @@ let install_env_listener t =
               snapshot)
   else
     Env.on_change t.env (fun changed_name _args _change ->
+        trace_env_change t changed_name;
         Ident.Tbl.iter
           (fun _ issued ->
             if Cr.is_valid issued.record then recheck_env_watches t issued changed_name)
@@ -597,7 +638,7 @@ let seed_from_requested (rule : Rule.activation) requested =
 let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
   match Hashtbl.find_opt t.activations role with
   | None ->
-      t.st.activations_denied <- t.st.activations_denied + 1;
+      Obs.Counter.inc t.st.activations_denied;
       Protocol.Denied (Protocol.Unknown_role role)
   | Some rules ->
       let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
@@ -606,7 +647,7 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
         (not t.config.challenge_on_activation) || challenge_key t ~dst:src ~key:session_key
       in
       if not challenge_ok then begin
-        t.st.activations_denied <- t.st.activations_denied + 1;
+        Obs.Counter.inc t.st.activations_denied;
         Protocol.Denied Protocol.Challenge_failed
       end
       else
@@ -621,7 +662,7 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
                  (fun rule ->
                    match seed_from_requested rule requested with
                    | None -> None
-                   | Some seed -> Solve.activation ctx rule ~seed ())
+                   | Some seed -> Solve.activation ~obs:t.obs ctx rule ~seed ())
                  (Queue.to_seq rules))
           with
           | Oasis_policy.Solve.Unbound_head (r, v) ->
@@ -633,11 +674,11 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
         in
         match proof with
         | Error message ->
-            t.st.activations_denied <- t.st.activations_denied + 1;
+            Obs.Counter.inc t.st.activations_denied;
             Log.err (fun m -> m "%s: %s" t.sname message);
             Protocol.Denied (Protocol.Bad_request message)
         | Ok None ->
-            t.st.activations_denied <- t.st.activations_denied + 1;
+            Obs.Counter.inc t.st.activations_denied;
             Protocol.Denied Protocol.No_proof
         | Ok (Some proof) ->
             let cert_id = World.fresh_cert_id t.world in
@@ -666,7 +707,7 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
             monitor_membership t issued proof;
             record_audit t ~principal ~action:("activate:" ^ role) ~args:proof.role_args
               ~support:proof.support;
-            t.st.activations_granted <- t.st.activations_granted + 1;
+            Obs.Counter.inc t.st.activations_granted;
             Log.debug (fun m ->
                 m "%s grants %s(%s) to %a" t.sname role
                   (String.concat ", " (List.map Value.to_string proof.role_args))
@@ -674,7 +715,7 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
             Protocol.Activate_ok { rmc; initial = proof.rule.initial }
 
 (* Authorization search with the same policy-error containment. *)
-let solve_privilege ctx rules args =
+let solve_privilege ~obs ctx rules args =
   try
     Ok
       (Seq.find_map
@@ -688,7 +729,7 @@ let solve_privilege ctx rules args =
                  (Some Term.Subst.empty) rule.priv_args args
              with
              | None -> None
-             | Some seed -> Solve.authorization ctx rule ~seed ())
+             | Some seed -> Solve.authorization ~obs ctx rule ~seed ())
          (Queue.to_seq rules))
   with
   | Env.Unknown_predicate p -> Error (Printf.sprintf "policy error: unknown predicate %s" p)
@@ -698,7 +739,7 @@ let solve_privilege ctx rules args =
 let handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds =
   match Hashtbl.find_opt t.authorizations privilege with
   | None ->
-      t.st.invocations_denied <- t.st.invocations_denied + 1;
+      Obs.Counter.inc t.st.invocations_denied;
       Protocol.Denied (Protocol.Unknown_privilege privilege)
   | Some rules ->
       let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
@@ -707,21 +748,21 @@ let handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds =
         (not t.config.challenge_on_invocation) || challenge_key t ~dst:src ~key:session_key
       in
       if not challenge_ok then begin
-        t.st.invocations_denied <- t.st.invocations_denied + 1;
+        Obs.Counter.inc t.st.invocations_denied;
         Protocol.Denied Protocol.Challenge_failed
       end
       else
-        match solve_privilege ctx rules args with
+        match solve_privilege ~obs:t.obs ctx rules args with
         | Error message ->
-            t.st.invocations_denied <- t.st.invocations_denied + 1;
+            Obs.Counter.inc t.st.invocations_denied;
             Log.err (fun m -> m "%s: %s" t.sname message);
             Protocol.Denied (Protocol.Bad_request message)
         | Ok None ->
-            t.st.invocations_denied <- t.st.invocations_denied + 1;
+            Obs.Counter.inc t.st.invocations_denied;
             Protocol.Denied Protocol.No_proof
         | Ok (Some (_subst, support)) ->
             record_audit t ~principal ~action:privilege ~args ~support;
-            t.st.invocations_granted <- t.st.invocations_granted + 1;
+            Obs.Counter.inc t.st.invocations_granted;
             let result =
               match Hashtbl.find_opt t.operations privilege with
               | Some operation -> operation ~principal args
@@ -733,7 +774,7 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
     ~creds =
   match Hashtbl.find_opt t.appointers kind with
   | None ->
-      t.st.appointments_denied <- t.st.appointments_denied + 1;
+      Obs.Counter.inc t.st.appointments_denied;
       Protocol.Denied (Protocol.Unknown_privilege ("appoint:" ^ kind))
   | Some rules ->
       let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
@@ -742,17 +783,17 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
         (not t.config.challenge_on_invocation) || challenge_key t ~dst:src ~key:session_key
       in
       if not challenge_ok then begin
-        t.st.appointments_denied <- t.st.appointments_denied + 1;
+        Obs.Counter.inc t.st.appointments_denied;
         Protocol.Denied Protocol.Challenge_failed
       end
       else
-        match solve_privilege ctx rules args with
+        match solve_privilege ~obs:t.obs ctx rules args with
         | Error message ->
-            t.st.appointments_denied <- t.st.appointments_denied + 1;
+            Obs.Counter.inc t.st.appointments_denied;
             Log.err (fun m -> m "%s: %s" t.sname message);
             Protocol.Denied (Protocol.Bad_request message)
         | Ok None ->
-            t.st.appointments_denied <- t.st.appointments_denied + 1;
+            Obs.Counter.inc t.st.appointments_denied;
             Protocol.Denied Protocol.No_proof
         | Ok (Some (_subst, support)) ->
             let cert_id = World.fresh_cert_id t.world in
@@ -776,7 +817,7 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
                        ignore (revoke_appt t ia ~reason:"expired")))
             | Some _ | None -> ());
             record_audit t ~principal ~action:("appoint:" ^ kind) ~args ~support;
-            t.st.appointments_granted <- t.st.appointments_granted + 1;
+            Obs.Counter.inc t.st.appointments_granted;
             Protocol.Appoint_ok appt
 
 let handle_deactivate t ~cert_id ~session_key =
@@ -788,11 +829,11 @@ let handle_deactivate t ~cert_id ~session_key =
   | None -> Protocol.Denied (Protocol.Bad_credential cert_id)
 
 let handle_validate_rmc t ~rmc ~principal_key =
-  t.st.callbacks_in <- t.st.callbacks_in + 1;
+  Obs.Counter.inc t.st.callbacks_in;
   Protocol.Validate_result (verify_own_rmc t ~principal_key rmc)
 
 let handle_validate_appt t ~appt =
-  t.st.callbacks_in <- t.st.callbacks_in + 1;
+  Obs.Counter.inc t.st.callbacks_in;
   Protocol.Validate_result (verify_own_appt t appt)
 
 let handle_rpc t ~src msg =
@@ -848,11 +889,15 @@ let create world ~name ?(config = default_config) ?env ~policy () =
   let env =
     match env with Some e -> e | None -> Env.create (Engine.clock (World.engine world))
   in
+  let obs = World.obs world in
+  let labels = [ ("service", name) ] in
+  let counter cname = Obs.counter obs cname ~labels in
   let t =
     {
       world;
       sid;
       sname = name;
+      obs;
       config;
       env;
       secret = Secret.generate (World.rng world);
@@ -865,22 +910,22 @@ let create world ~name ?(config = default_config) ?env ~policy () =
       rmcs = Ident.Tbl.create 64;
       env_index = Hashtbl.create 16;
       appts = Ident.Tbl.create 64;
-      cache = Vcache.create ();
+      cache = Vcache.create ~obs ~labels ();
       cache_watched = Ident.Tbl.create 64;
       st =
         {
-          activations_granted = 0;
-          activations_denied = 0;
-          invocations_granted = 0;
-          invocations_denied = 0;
-          appointments_granted = 0;
-          appointments_denied = 0;
-          callbacks_in = 0;
-          callbacks_out = 0;
-          validation_failures = 0;
-          revocations = 0;
-          cascade_deactivations = 0;
-          env_rechecks = 0;
+          activations_granted = counter "service.activations_granted";
+          activations_denied = counter "service.activations_denied";
+          invocations_granted = counter "service.invocations_granted";
+          invocations_denied = counter "service.invocations_denied";
+          appointments_granted = counter "service.appointments_granted";
+          appointments_denied = counter "service.appointments_denied";
+          callbacks_in = counter "service.callbacks_in";
+          callbacks_out = counter "service.callbacks_out";
+          validation_failures = counter "service.validation_failures";
+          revocations = counter "service.revocations";
+          cascade_deactivations = counter "service.cascade_deactivations";
+          env_rechecks = counter "service.env_rechecks";
         };
       audit = [];
     }
@@ -946,32 +991,32 @@ let audit_log t = t.audit
 
 let stats t =
   {
-    activations_granted = t.st.activations_granted;
-    activations_denied = t.st.activations_denied;
-    invocations_granted = t.st.invocations_granted;
-    invocations_denied = t.st.invocations_denied;
-    appointments_granted = t.st.appointments_granted;
-    appointments_denied = t.st.appointments_denied;
-    callbacks_in = t.st.callbacks_in;
-    callbacks_out = t.st.callbacks_out;
-    validation_failures = t.st.validation_failures;
-    revocations = t.st.revocations;
-    cascade_deactivations = t.st.cascade_deactivations;
-    env_rechecks = t.st.env_rechecks;
+    activations_granted = Obs.Counter.value t.st.activations_granted;
+    activations_denied = Obs.Counter.value t.st.activations_denied;
+    invocations_granted = Obs.Counter.value t.st.invocations_granted;
+    invocations_denied = Obs.Counter.value t.st.invocations_denied;
+    appointments_granted = Obs.Counter.value t.st.appointments_granted;
+    appointments_denied = Obs.Counter.value t.st.appointments_denied;
+    callbacks_in = Obs.Counter.value t.st.callbacks_in;
+    callbacks_out = Obs.Counter.value t.st.callbacks_out;
+    validation_failures = Obs.Counter.value t.st.validation_failures;
+    revocations = Obs.Counter.value t.st.revocations;
+    cascade_deactivations = Obs.Counter.value t.st.cascade_deactivations;
+    env_rechecks = Obs.Counter.value t.st.env_rechecks;
     cache = Vcache.stats t.cache;
   }
 
 let reset_stats t =
-  t.st.activations_granted <- 0;
-  t.st.activations_denied <- 0;
-  t.st.invocations_granted <- 0;
-  t.st.invocations_denied <- 0;
-  t.st.appointments_granted <- 0;
-  t.st.appointments_denied <- 0;
-  t.st.callbacks_in <- 0;
-  t.st.callbacks_out <- 0;
-  t.st.validation_failures <- 0;
-  t.st.revocations <- 0;
-  t.st.cascade_deactivations <- 0;
-  t.st.env_rechecks <- 0;
+  Obs.Counter.reset t.st.activations_granted;
+  Obs.Counter.reset t.st.activations_denied;
+  Obs.Counter.reset t.st.invocations_granted;
+  Obs.Counter.reset t.st.invocations_denied;
+  Obs.Counter.reset t.st.appointments_granted;
+  Obs.Counter.reset t.st.appointments_denied;
+  Obs.Counter.reset t.st.callbacks_in;
+  Obs.Counter.reset t.st.callbacks_out;
+  Obs.Counter.reset t.st.validation_failures;
+  Obs.Counter.reset t.st.revocations;
+  Obs.Counter.reset t.st.cascade_deactivations;
+  Obs.Counter.reset t.st.env_rechecks;
   Vcache.reset_stats t.cache

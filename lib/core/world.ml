@@ -4,6 +4,7 @@ module Proc = Oasis_sim.Proc
 module Broker = Oasis_event.Broker
 module Rng = Oasis_util.Rng
 module Ident = Oasis_util.Ident
+module Obs = Oasis_obs.Obs
 
 type heartbeat_config = { period : float; deadline : float }
 
@@ -14,6 +15,7 @@ type monitoring =
 type t = {
   engine : Engine.t;
   rng : Rng.t;
+  obs : Obs.t;
   network : Protocol.msg Network.t;
   broker : Protocol.event Broker.t;
   monitoring : monitoring;
@@ -29,14 +31,18 @@ let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_laten
     ?(monitoring = Change_events) () =
   let engine = Engine.create () in
   let rng = Rng.create seed in
+  (* One registry per world, on the engine's virtual clock; the network,
+     broker and every service report into it. *)
+  let obs = Obs.create ~now:(fun () -> Engine.now engine) () in
   let network =
     Network.create engine (Rng.split rng) ~default_latency:net_latency ~default_jitter:net_jitter
-      ~size_of:Protocol.size_of ()
+      ~size_of:Protocol.size_of ~obs ()
   in
-  let broker = Broker.create engine (Rng.split rng) ~notify_latency () in
+  let broker = Broker.create engine (Rng.split rng) ~notify_latency ~obs () in
   {
     engine;
     rng;
+    obs;
     network;
     broker;
     monitoring;
@@ -50,6 +56,7 @@ let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_laten
 
 let engine t = t.engine
 let rng t = t.rng
+let obs t = t.obs
 let network t = t.network
 let broker t = t.broker
 let monitoring t = t.monitoring

@@ -31,6 +31,11 @@ val create :
 
 val engine : t -> Oasis_sim.Engine.t
 val rng : t -> Oasis_util.Rng.t
+
+(** The world's shared metrics registry and tracer (DESIGN.md §10). The
+    network, broker and every service report into it; attach a sink to
+    stream the event timeline. *)
+val obs : t -> Oasis_obs.Obs.t
 val network : t -> Protocol.msg Oasis_sim.Network.t
 val broker : t -> Protocol.event Oasis_event.Broker.t
 val monitoring : t -> monitoring

@@ -9,6 +9,7 @@ module Cr = Oasis_cert.Credential_record
 module Secret = Oasis_crypto.Secret
 module World = Oasis_core.World
 module Protocol = Oasis_core.Protocol
+module Obs = Oasis_obs.Obs
 
 exception Primary_unavailable
 
@@ -35,11 +36,12 @@ type t = {
   replicas : replica array;
   beats : Heartbeat.emitter Ident.Tbl.t;
   mutable rr : int;
-  mutable forwarded : int;
-  mutable issues : int;
-  mutable revocations : int;
-  mutable failovers : int;
-  mutable exhausted : int;
+  (* Counters in the world's registry, labelled [civ=<name>]. *)
+  c_forwarded : Obs.Counter.t;
+  c_issues : Obs.Counter.t;
+  c_revocations : Obs.Counter.t;
+  c_failovers : Obs.Counter.t;
+  c_exhausted : Obs.Counter.t;
 }
 
 let id t = t.router
@@ -77,7 +79,7 @@ let replica_validate t replica (appt : Appointment.t) =
     | None -> (
         (* Not replicated yet: ask the primary rather than deny a freshly
            issued certificate. *)
-        t.forwarded <- t.forwarded + 1;
+        Obs.Counter.inc t.c_forwarded;
         match
           Network.rpc (World.network t.world) ~src:replica.node ~dst:(primary t).node
             (Protocol.Validate_appt { appt })
@@ -111,7 +113,7 @@ let route t msg =
   t.rr <- (t.rr + 1) mod n;
   let rec try_from attempt =
     if attempt >= n then begin
-      t.exhausted <- t.exhausted + 1;
+      Obs.Counter.inc t.c_exhausted;
       Protocol.Validate_result false
     end
     else
@@ -119,7 +121,7 @@ let route t msg =
       match Network.rpc (World.network t.world) ~src:t.router ~dst:replica.node msg with
       | reply -> reply
       | exception Network.Rpc_dropped ->
-          t.failovers <- t.failovers + 1;
+          Obs.Counter.inc t.c_failovers;
           try_from (attempt + 1)
   in
   try_from 0
@@ -141,6 +143,7 @@ let router_handler t =
 let create world ~name ?(replicas = 3) ?(replication = Async) () =
   if replicas < 1 then invalid_arg "Civ.create: need at least one replica";
   let router = World.fresh_service_id world in
+  let counter cname = Obs.counter (World.obs world) cname ~labels:[ ("civ", name) ] in
   let t =
     {
       world;
@@ -161,11 +164,11 @@ let create world ~name ?(replicas = 3) ?(replication = Async) () =
             });
       beats = Ident.Tbl.create 16;
       rr = 0;
-      forwarded = 0;
-      issues = 0;
-      revocations = 0;
-      failovers = 0;
-      exhausted = 0;
+      c_forwarded = counter "civ.forwarded";
+      c_issues = counter "civ.issues";
+      c_revocations = counter "civ.revocations";
+      c_failovers = counter "civ.failovers";
+      c_exhausted = counter "civ.exhausted";
     }
   in
   World.register_service world ~name router;
@@ -207,7 +210,7 @@ let revoke t cert_id ~reason =
     match Cr.revoke t.crs cert_id ~at:(World.now t.world) ~reason with
     | None -> false
     | Some record ->
-        t.revocations <- t.revocations + 1;
+        Obs.Counter.inc t.c_revocations;
         (match Ident.Tbl.find_opt t.beats cert_id with
         | Some emitter ->
             Heartbeat.stop_emitter emitter;
@@ -230,7 +233,7 @@ let issue t ~kind ~args ~holder ~holder_key ?expires_at () =
     Cr.add t.crs ~cert_id ~issuer:t.router ~kind:Cr.Kind_appointment ~principal:holder ~name:kind
       ~args ~issued_at:now
   in
-  t.issues <- t.issues + 1;
+  Obs.Counter.inc t.c_issues;
   (match World.monitoring t.world with
   | World.Change_events -> ()
   | World.Heartbeats { period; _ } ->
@@ -301,9 +304,9 @@ type stats = {
 let stats t =
   {
     validations_served = Array.map (fun r -> r.served) t.replicas;
-    forwarded_to_primary = t.forwarded;
-    issues = t.issues;
-    revocations = t.revocations;
-    failovers = t.failovers;
-    exhausted = t.exhausted;
+    forwarded_to_primary = Obs.Counter.value t.c_forwarded;
+    issues = Obs.Counter.value t.c_issues;
+    revocations = Obs.Counter.value t.c_revocations;
+    failovers = Obs.Counter.value t.c_failovers;
+    exhausted = Obs.Counter.value t.c_exhausted;
   }

@@ -1,6 +1,7 @@
 module Engine = Oasis_sim.Engine
 module Rng = Oasis_util.Rng
 module Ident = Oasis_util.Ident
+module Obs = Oasis_obs.Obs
 
 type topic = string
 
@@ -14,30 +15,41 @@ type 'a sub = {
 
 type subscription = { unsub : unit -> unit }
 
-type stats = { published : int; notified : int }
+type stats = { published : int; notified : int; suppressed : int }
 
 type 'a t = {
   engine : Engine.t;
   rng : Rng.t;
+  obs : Obs.t;
   latency : float;
   jitter : float;
   subs : (topic, 'a sub list ref) Hashtbl.t;
   mutable next_id : int;
-  mutable published : int;
-  mutable notified : int;
+  c_published : Obs.Counter.t;
+  c_notified : Obs.Counter.t;
+  c_suppressed : Obs.Counter.t;
 }
 
-let create engine rng ~notify_latency ?(jitter = 0.0) () =
+let create engine rng ~notify_latency ?(jitter = 0.0) ?obs () =
+  let obs =
+    match obs with
+    | Some obs -> obs
+    | None -> Obs.create ~now:(fun () -> Engine.now engine) ()
+  in
   {
     engine;
     rng;
+    obs;
     latency = notify_latency;
     jitter;
     subs = Hashtbl.create 64;
     next_id = 0;
-    published = 0;
-    notified = 0;
+    c_published = Obs.counter obs "broker.published";
+    c_notified = Obs.counter obs "broker.notified";
+    c_suppressed = Obs.counter obs "broker.suppressed" ~labels:[ ("cause", "unsubscribed") ];
   }
+
+let obs t = t.obs
 
 let bucket t topic =
   match Hashtbl.find_opt t.subs topic with
@@ -64,7 +76,8 @@ let unsubscribe _t subscription = subscription.unsub ()
 let delay t = t.latency +. (if t.jitter > 0.0 then Rng.float t.rng t.jitter else 0.0)
 
 let publish t topic payload =
-  t.published <- t.published + 1;
+  Obs.Counter.inc t.c_published;
+  if Obs.tracing t.obs then Obs.event t.obs "broker.publish" ~labels:[ ("topic", topic) ];
   match Hashtbl.find_opt t.subs topic with
   | None -> ()
   | Some b ->
@@ -76,16 +89,30 @@ let publish t topic payload =
           ignore
             (Engine.schedule t.engine ~after:(delay t) (fun () ->
                  if sub.active then begin
-                   t.notified <- t.notified + 1;
+                   Obs.Counter.inc t.c_notified;
+                   if Obs.tracing t.obs then
+                     Obs.event t.obs "broker.notify"
+                       ~labels:[ ("topic", topic); ("owner", Ident.to_string sub.owner) ];
                    sub.callback sub.sub_topic payload
-                 end)))
+                 end
+                 else
+                   (* The subscriber unsubscribed while this notification was
+                      in flight. Account for it so published × subscribers =
+                      notified + suppressed always holds. *)
+                   Obs.Counter.inc t.c_suppressed)))
         snapshot
 
 let subscriber_count t topic =
   match Hashtbl.find_opt t.subs topic with None -> 0 | Some b -> List.length !b
 
-let stats t = { published = t.published; notified = t.notified }
+let stats t =
+  {
+    published = Obs.Counter.value t.c_published;
+    notified = Obs.Counter.value t.c_notified;
+    suppressed = Obs.Counter.value t.c_suppressed;
+  }
 
 let reset_stats t =
-  t.published <- 0;
-  t.notified <- 0
+  Obs.Counter.reset t.c_published;
+  Obs.Counter.reset t.c_notified;
+  Obs.Counter.reset t.c_suppressed

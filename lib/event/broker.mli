@@ -25,8 +25,15 @@ val create :
   Oasis_util.Rng.t ->
   notify_latency:float ->
   ?jitter:float ->
+  ?obs:Oasis_obs.Obs.t ->
   unit ->
   'a t
+(** [obs] is the registry publish/notify counters and trace events report
+    into — normally the world's shared instance; defaults to a private one
+    so standalone brokers behave as before. *)
+
+val obs : 'a t -> Oasis_obs.Obs.t
+(** The registry this broker reports into. *)
 
 val subscribe : 'a t -> topic -> owner:Oasis_util.Ident.t -> (topic -> 'a -> unit) -> subscription
 (** The callback fires once per matching publish, after the notification
@@ -34,8 +41,10 @@ val subscribe : 'a t -> topic -> owner:Oasis_util.Ident.t -> (topic -> 'a -> uni
     debugging. *)
 
 val unsubscribe : 'a t -> subscription -> unit
-(** Idempotent. Publishes in flight at unsubscribe time are still
-    delivered (the notification had already left the broker). *)
+(** Idempotent. Publishes in flight at unsubscribe time are suppressed at
+    delivery and counted under [stats.suppressed], so every scheduled
+    notification is accounted for: for each publish,
+    subscribers-at-publish-time = notified + suppressed. *)
 
 val publish : 'a t -> topic -> 'a -> unit
 (** Callable from any context. Delivery order to distinct subscribers of one
@@ -47,6 +56,7 @@ val subscriber_count : 'a t -> topic -> int
 type stats = {
   published : int;  (** publish calls *)
   notified : int;  (** subscriber callbacks actually run *)
+  suppressed : int;  (** deliveries cancelled by an in-flight unsubscribe *)
 }
 
 val stats : 'a t -> stats

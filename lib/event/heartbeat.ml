@@ -1,12 +1,15 @@
 module Engine = Oasis_sim.Engine
+module Obs = Oasis_obs.Obs
 
 type emitter = { mutable running : bool; mutable beats : int }
 
 let start_emitter broker engine ~topic ~period ~beat =
   let emitter = { running = true; beats = 0 } in
+  let c_beats = Obs.counter (Broker.obs broker) "hb.beats" in
   Engine.every engine ~period (fun () ->
       if emitter.running then begin
         emitter.beats <- emitter.beats + 1;
+        Obs.Counter.inc c_beats;
         Broker.publish broker topic beat
       end;
       emitter.running);
@@ -57,6 +60,9 @@ let watch ?(accept = fun _ -> true) broker engine ~topic ~deadline ~on_miss =
               m.alive <- false;
               m.miss_fired <- true;
               m.unsub ();
+              let obs = Broker.obs broker in
+              Obs.Counter.inc (Obs.counter obs "hb.misses");
+              if Obs.tracing obs then Obs.event obs "hb.miss" ~labels:[ ("topic", topic) ];
               on_miss ()
             end
             else arm ())

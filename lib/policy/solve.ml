@@ -1,6 +1,7 @@
 module Value = Oasis_util.Value
 module Ident = Oasis_util.Ident
 module Subst = Term.Subst
+module Obs = Oasis_obs.Obs
 
 type cred = {
   cred_id : Ident.t;
@@ -40,11 +41,13 @@ exception Unbound_head of string * string
 exception Nonground_negation of string
 
 (* Generic depth-first proof search over the conditions. [emit] receives each
-   full solution; it returns [true] to continue searching or [false] to cut. *)
-let search ctx conditions ~seed ~emit =
+   full solution; it returns [true] to continue searching or [false] to cut.
+   [on_step] fires once per condition visit — the proof-search cost metric. *)
+let search ?(on_step = fun () -> ()) ctx conditions ~seed ~emit =
   let rec go subst acc = function
     | [] -> emit subst (List.rev acc)
     | condition :: rest ->
+        on_step ();
         let try_creds kind candidates (r : Rule.cred_ref) =
           (* Try each candidate credential that unifies with the pattern. *)
           let rec loop = function
@@ -102,27 +105,48 @@ let ground_head (rule : Rule.activation) subst =
           raise (Unbound_head (rule.role, var)))
     rule.params
 
-let activation ctx (rule : Rule.activation) ?(seed = Subst.empty) () =
-  let result = ref None in
-  search ctx rule.conditions ~seed ~emit:(fun subst support ->
-      result := Some { rule; subst; role_args = ground_head rule subst; support };
-      false);
-  !result
+(* Wraps one solver entry point: counts condition visits into the
+   [solve.steps] histogram and (when tracing) brackets the search in a
+   [solve.<kind>] span. Without [obs] the search runs untouched. *)
+let observed ?obs ~kind ~rule f =
+  match obs with
+  | None -> f (fun () -> ())
+  | Some obs ->
+      let steps = ref 0 in
+      let run () = f (fun () -> incr steps) in
+      let result =
+        if Obs.tracing obs then Obs.span obs ("solve." ^ kind) ~labels:[ ("rule", rule) ] run
+        else run ()
+      in
+      Obs.Histogram.observe
+        (Obs.histogram obs "solve.steps" ~labels:[ ("kind", kind) ])
+        (float_of_int !steps);
+      result
 
-let activation_all ctx (rule : Rule.activation) ?(seed = Subst.empty) () =
-  let results = ref [] in
-  search ctx rule.conditions ~seed ~emit:(fun subst support ->
-      results := { rule; subst; role_args = ground_head rule subst; support } :: !results;
-      true);
-  List.rev !results
+let activation ?obs ctx (rule : Rule.activation) ?(seed = Subst.empty) () =
+  observed ?obs ~kind:"activation" ~rule:rule.role (fun on_step ->
+      let result = ref None in
+      search ~on_step ctx rule.conditions ~seed ~emit:(fun subst support ->
+          result := Some { rule; subst; role_args = ground_head rule subst; support };
+          false);
+      !result)
 
-let authorization ctx (auth : Rule.authorization) ?(seed = Subst.empty) () =
-  let conditions =
-    List.map (fun r -> Rule.Prereq r) auth.required_roles
-    @ List.map (fun (name, args) -> Rule.Constraint (name, args)) auth.constraints
-  in
-  let result = ref None in
-  search ctx conditions ~seed ~emit:(fun subst support ->
-      result := Some (subst, support);
-      false);
-  !result
+let activation_all ?obs ctx (rule : Rule.activation) ?(seed = Subst.empty) () =
+  observed ?obs ~kind:"activation_all" ~rule:rule.role (fun on_step ->
+      let results = ref [] in
+      search ~on_step ctx rule.conditions ~seed ~emit:(fun subst support ->
+          results := { rule; subst; role_args = ground_head rule subst; support } :: !results;
+          true);
+      List.rev !results)
+
+let authorization ?obs ctx (auth : Rule.authorization) ?(seed = Subst.empty) () =
+  observed ?obs ~kind:"authorization" ~rule:auth.privilege (fun on_step ->
+      let conditions =
+        List.map (fun r -> Rule.Prereq r) auth.required_roles
+        @ List.map (fun (name, args) -> Rule.Constraint (name, args)) auth.constraints
+      in
+      let result = ref None in
+      search ~on_step ctx conditions ~seed ~emit:(fun subst support ->
+          result := Some (subst, support);
+          false);
+      !result)

@@ -55,15 +55,21 @@ exception Nonground_negation of string
     every variable it mentions; anything else is a policy configuration
     error that must surface loudly rather than yield "no proof". *)
 
-val activation : context -> Rule.activation -> ?seed:Term.Subst.t -> unit -> proof option
+val activation :
+  ?obs:Oasis_obs.Obs.t -> context -> Rule.activation -> ?seed:Term.Subst.t -> unit -> proof option
 (** First proof found, or [None]. [seed] pre-binds head variables when the
-    principal requests specific parameters (e.g. a particular patient). *)
+    principal requests specific parameters (e.g. a particular patient).
+    With [obs], condition visits feed the [solve.steps{kind=activation}]
+    histogram and tracing brackets the search in a [solve.activation] span
+    labelled with the role. *)
 
-val activation_all : context -> Rule.activation -> ?seed:Term.Subst.t -> unit -> proof list
+val activation_all :
+  ?obs:Oasis_obs.Obs.t -> context -> Rule.activation -> ?seed:Term.Subst.t -> unit -> proof list
 (** All proofs (distinct supporting-credential combinations); used by tests
     and by the monitor when re-validating after a credential loss. *)
 
 val authorization :
+  ?obs:Oasis_obs.Obs.t ->
   context ->
   Rule.authorization ->
   ?seed:Term.Subst.t ->

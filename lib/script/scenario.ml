@@ -6,8 +6,13 @@ module Civ = Oasis_domain.Civ
 module Env = Oasis_policy.Env
 module Value = Oasis_util.Value
 module Ident = Oasis_util.Ident
+module Obs = Oasis_obs.Obs
 
-type outcome = { log : string list; failures : string list }
+type outcome = {
+  log : string list;
+  failures : string list;
+  metrics : (string * float) list;
+}
 
 type error = { line : int; message : string }
 
@@ -26,6 +31,7 @@ type labelled =
 type state = {
   mutable world : World.t option;
   mutable civ : Civ.t option;
+  sink : Obs.sink option;
   mutable seed : int;
   services : (string, Service.t) Hashtbl.t;
   principals : (string, Principal.t) Hashtbl.t;
@@ -35,10 +41,11 @@ type state = {
   mutable failures : string list;
 }
 
-let fresh_state () =
+let fresh_state ?sink () =
   {
     world = None;
     civ = None;
+    sink;
     seed = 1;
     services = Hashtbl.create 8;
     principals = Hashtbl.create 8;
@@ -55,6 +62,9 @@ let world st line =
   | Some w -> w
   | None ->
       let w = World.create ~seed:st.seed () in
+      (* The sink must see every event, so it attaches before any service
+         or certificate exists. *)
+      (match st.sink with Some sink -> Obs.attach (World.obs w) sink | None -> ());
       let civ = Civ.create w ~name:"civ" () in
       st.world <- Some w;
       st.civ <- Some civ;
@@ -393,8 +403,36 @@ let collect_policy ~header lines =
   in
   go lines []
 
-let run_lines lines =
-  let st = fresh_state () in
+(* expect-metric KEY OP VALUE over the world registry's rendered keys. *)
+let exec_expect_metric st line key op want =
+  let w = world st line in
+  let want =
+    match float_of_string_opt want with
+    | Some v -> v
+    | None -> fail line "bad metric value %s" want
+  in
+  let compare_fn =
+    match op with
+    | "==" -> ( = )
+    | "!=" -> ( <> )
+    | "<=" -> ( <= )
+    | ">=" -> ( >= )
+    | "<" -> ( < )
+    | ">" -> ( > )
+    | _ -> fail line "bad metric comparison %s (use == != <= >= < >)" op
+  in
+  match Obs.value (World.obs w) key with
+  | None ->
+      st.failures <-
+        Printf.sprintf "line %d: metric %s not registered" line key :: st.failures
+  | Some got ->
+      if not (compare_fn got want) then
+        st.failures <-
+          Printf.sprintf "line %d: expected %s %s %g, found %g" line key op want got
+          :: st.failures
+
+let run_lines ?sink lines =
+  let st = fresh_state ?sink () in
   let rec step = function
     | [] -> ()
     | (line, raw) :: rest -> (
@@ -479,6 +517,16 @@ let run_lines lines =
               World.run_proc (world st line) (fun () -> Principal.logout p session);
               say st "%s logged out of %s" pname sname;
               step rest
+          | "trace" :: note ->
+              (* Emits a mark into the event timeline, so exported traces
+                 can be segmented by scenario position. *)
+              let w = world st line in
+              Obs.event (World.obs w) "scenario.mark"
+                ~labels:[ ("line", string_of_int line); ("note", String.concat " " note) ];
+              step rest
+          | [ "expect-metric"; key; op; v ] ->
+              exec_expect_metric st line key op v;
+              step rest
           | [ "expect-active"; svc_name; n ] ->
               let svc = find st.services line "service" svc_name in
               let want =
@@ -498,21 +546,24 @@ let run_lines lines =
           | [] -> step rest)
   in
   step lines;
-  { log = List.rev st.log; failures = List.rev st.failures }
+  let metrics =
+    match st.world with Some w -> Obs.metric_values (World.obs w) | None -> []
+  in
+  { log = List.rev st.log; failures = List.rev st.failures; metrics }
 
-let run_string source =
+let run_string ?sink source =
   let lines = String.split_on_char '\n' source |> List.mapi (fun i l -> (i + 1, l)) in
-  match run_lines lines with
+  match run_lines ?sink lines with
   | outcome -> Ok outcome
   | exception Stop e -> Error e
   | exception Failure message -> Error { line = 0; message }
 
-let run_file path =
+let run_file ?sink path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  run_string s
+  run_string ?sink s
 
 (* ------------------------------------------------------------------ *)
 (* Static extraction for analyze-world                                *)

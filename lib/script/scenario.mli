@@ -31,10 +31,18 @@
     settle
     invoke alice s hospital read(alice) expect denied
     expect-active hospital 1
+    expect-metric service.revocations{service=hospital} >= 1
+    trace after first revocation  # emits a scenario.mark trace event
     show hospital
     logout alice s
     run-until 1000.0
     v}
+
+    [expect-metric KEY OP VALUE] checks a rendered registry key (see
+    {!Oasis_obs.Obs.render_key}) against a number with one of [== != <= >=
+    < >]; failures land in [outcome.failures] like any other expectation.
+    [trace NOTE...] emits a [scenario.mark] event so exported timelines can
+    be segmented by scenario position.
 
     Argument tokens inside parentheses: a declared principal name denotes
     its identity; integers, floats (times), ["strings"], [true]/[false] are
@@ -42,19 +50,24 @@
 
 type outcome = {
   log : string list;  (** human-readable trace, in execution order *)
-  failures : string list;  (** failed [expect]/[expect-active] checks *)
+  failures : string list;
+      (** failed [expect]/[expect-active]/[expect-metric] checks *)
+  metrics : (string * float) list;
+      (** the world registry's final state, as rendered key/value pairs
+          ({!Oasis_obs.Obs.metric_values}); empty if no world was created *)
 }
 
 type error = { line : int; message : string }
 
 val pp_error : Format.formatter -> error -> unit
 
-val run_string : string -> (outcome, error) result
+val run_string : ?sink:Oasis_obs.Obs.sink -> string -> (outcome, error) result
 (** Parses and executes a scenario. [Error] is a syntax or setup problem
     (unknown names, malformed commands); expectation failures are data in
-    the [outcome]. *)
+    the [outcome]. [sink] attaches to the world's tracer before anything
+    runs, streaming the full event timeline ([oasisctl trace]). *)
 
-val run_file : string -> (outcome, error) result
+val run_file : ?sink:Oasis_obs.Obs.sink -> string -> (outcome, error) result
 
 val extract_policies : string -> (Oasis_policy.Analysis.service_policy list, error) result
 (** Reads only the [service NAME { … }] blocks of a scenario (plus the

@@ -1,5 +1,6 @@
 module Ident = Oasis_util.Ident
 module Rng = Oasis_util.Rng
+module Obs = Oasis_obs.Obs
 
 type 'msg handler = {
   on_oneway : src:Ident.t -> 'msg -> unit;
@@ -12,47 +13,81 @@ type 'msg node = { handler : 'msg handler; mutable down : bool }
 
 type stats = { sent : int; delivered : int; dropped : int; rpcs : int; bytes_sent : int }
 
+(* The drop counters, one per cause — the registry view `oasisctl stats`
+   and the drop-accounting regression tests read. *)
+type drop_counters = {
+  src_down : Obs.Counter.t;
+  dst_missing : Obs.Counter.t;
+  link_loss : Obs.Counter.t;
+  in_flight_down : Obs.Counter.t;
+  handler_error : Obs.Counter.t;
+}
+
 type 'msg t = {
   engine : Engine.t;
   rng : Rng.t;
+  obs : Obs.t;
   nodes : 'msg node Ident.Tbl.t;
   links : (Ident.t * Ident.t, link) Hashtbl.t;
   default : link;
   size_of : 'msg -> int;
   mutable tracer : (src:Ident.t -> dst:Ident.t -> 'msg -> unit) option;
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped : int;
-  mutable rpcs : int;
-  mutable bytes_sent : int;
+  c_sent : Obs.Counter.t;
+  c_delivered : Obs.Counter.t;
+  c_rpcs : Obs.Counter.t;
+  c_bytes : Obs.Counter.t;
+  drops : drop_counters;
 }
 
 exception Rpc_dropped
 
-let create engine rng ~default_latency ?(default_jitter = 0.0) ?(size_of = fun _ -> 0) () =
+let create engine rng ~default_latency ?(default_jitter = 0.0) ?(size_of = fun _ -> 0) ?obs () =
+  let obs =
+    match obs with
+    | Some obs -> obs
+    | None -> Obs.create ~now:(fun () -> Engine.now engine) ()
+  in
+  let drop cause = Obs.counter obs "net.dropped" ~labels:[ ("cause", cause) ] in
   {
     engine;
     rng;
+    obs;
     nodes = Ident.Tbl.create 64;
     links = Hashtbl.create 64;
     default = { latency = default_latency; jitter = default_jitter; loss = 0.0 };
     size_of;
     tracer = None;
-    sent = 0;
-    delivered = 0;
-    dropped = 0;
-    rpcs = 0;
-    bytes_sent = 0;
+    c_sent = Obs.counter obs "net.sent";
+    c_delivered = Obs.counter obs "net.delivered";
+    c_rpcs = Obs.counter obs "net.rpcs";
+    c_bytes = Obs.counter obs "net.bytes_sent";
+    drops =
+      {
+        src_down = drop "src_down";
+        dst_missing = drop "dst_missing";
+        link_loss = drop "link_loss";
+        in_flight_down = drop "in_flight_down";
+        handler_error = drop "handler_error";
+      };
   }
 
 let engine t = t.engine
+let obs t = t.obs
 
 let add_node t id handler =
   if Ident.Tbl.mem t.nodes id then
     invalid_arg (Printf.sprintf "Network.add_node: %s already registered" (Ident.to_string id));
   Ident.Tbl.replace t.nodes id { handler; down = false }
 
-let remove_node t id = Ident.Tbl.remove t.nodes id
+let remove_node t id =
+  Ident.Tbl.remove t.nodes id;
+  (* Purge link overrides touching the removed node in both directions: a
+     later node reusing the ident must start from the network defaults, not
+     silently inherit the old latency/jitter/loss profile. *)
+  Hashtbl.filter_map_inplace
+    (fun (src, dst) link ->
+      if Ident.equal src id || Ident.equal dst id then None else Some link)
+    t.links
 
 let set_link t src dst ~latency ?(jitter = 0.0) ?(loss = 0.0) () =
   Hashtbl.replace t.links (src, dst) { latency; jitter; loss }
@@ -70,39 +105,48 @@ let link_for t src dst =
 
 let delay_of t link = link.latency +. (if link.jitter > 0.0 then Rng.float t.rng link.jitter else 0.0)
 
+let endpoint_labels src dst = [ ("src", Ident.to_string src); ("dst", Ident.to_string dst) ]
+
 (* Attempts one message leg. [k] runs at delivery time with the destination
-   node; [lost] runs immediately if the leg cannot complete. *)
+   node; [lost] runs immediately if the leg cannot complete. Each drop is
+   counted under its cause; the legacy [stats.dropped] field is the sum. *)
 let transmit t ~src ~dst ~msg ~k ~lost =
-  t.sent <- t.sent + 1;
-  t.bytes_sent <- t.bytes_sent + t.size_of msg;
+  Obs.Counter.inc t.c_sent;
+  Obs.Counter.add t.c_bytes (t.size_of msg);
   (match t.tracer with Some trace -> trace ~src ~dst msg | None -> ());
-  let src_node = Ident.Tbl.find_opt t.nodes src in
-  let dst_exists = Ident.Tbl.mem t.nodes dst in
-  let src_down = match src_node with Some n -> n.down | None -> false in
-  let link = link_for t src dst in
-  if src_down || (not dst_exists) || (link.loss > 0.0 && Rng.bernoulli t.rng link.loss) then begin
-    t.dropped <- t.dropped + 1;
+  if Obs.tracing t.obs then Obs.event t.obs "net.send" ~labels:(endpoint_labels src dst);
+  let drop cause counter =
+    Obs.Counter.inc counter;
+    if Obs.tracing t.obs then
+      Obs.event t.obs "net.drop" ~labels:(("cause", cause) :: endpoint_labels src dst);
     lost ()
-  end
+  in
+  let src_down = match Ident.Tbl.find_opt t.nodes src with Some n -> n.down | None -> false in
+  if src_down then drop "src_down" t.drops.src_down
+  else if not (Ident.Tbl.mem t.nodes dst) then drop "dst_missing" t.drops.dst_missing
   else
-    let delay = delay_of t link in
-    ignore
-      (Engine.schedule t.engine ~after:delay (fun () ->
-           match Ident.Tbl.find_opt t.nodes dst with
-           | Some node when not node.down ->
-               t.delivered <- t.delivered + 1;
-               k node
-           | Some _ | None ->
-               (* Destination vanished or went down in flight. *)
-               t.dropped <- t.dropped + 1;
-               lost ()))
+    let link = link_for t src dst in
+    if link.loss > 0.0 && Rng.bernoulli t.rng link.loss then drop "link_loss" t.drops.link_loss
+    else
+      let delay = delay_of t link in
+      ignore
+        (Engine.schedule t.engine ~after:delay (fun () ->
+             match Ident.Tbl.find_opt t.nodes dst with
+             | Some node when not node.down ->
+                 Obs.Counter.inc t.c_delivered;
+                 if Obs.tracing t.obs then
+                   Obs.event t.obs "net.deliver" ~labels:(endpoint_labels src dst);
+                 k node
+             | Some _ | None ->
+                 (* Destination vanished or went down in flight. *)
+                 drop "in_flight_down" t.drops.in_flight_down))
 
 let send t ~src ~dst msg =
   transmit t ~src ~dst ~msg
     ~k:(fun node -> node.handler.on_oneway ~src msg)
     ~lost:(fun () -> ())
 
-type 'msg rpc_outcome = Ok_reply of 'msg | Lost
+type 'msg rpc_outcome = Ok_reply of 'msg | Lost | Handler_failed of string
 
 let rpc ?timeout t ~src ~dst msg =
   let iv : 'msg rpc_outcome Proc.ivar = Proc.ivar () in
@@ -115,9 +159,22 @@ let rpc ?timeout t ~src ~dst msg =
   in
   transmit t ~src ~dst ~msg ~lost ~k:(fun node ->
       Proc.spawn t.engine (fun () ->
-          let reply = node.handler.on_rpc ~src msg in
-          transmit t ~src:dst ~dst:src ~msg:reply ~lost ~k:(fun _src_node ->
-              if Proc.poll iv = None then Proc.fill iv (Ok_reply reply))));
+          match node.handler.on_rpc ~src msg with
+          | reply ->
+              transmit t ~src:dst ~dst:src ~msg:reply ~lost ~k:(fun _src_node ->
+                  if Proc.poll iv = None then Proc.fill iv (Ok_reply reply))
+          | exception exn ->
+              (* A raising handler must not strand the caller on an ivar
+                 that is never filled (it used to block forever at a fixed
+                 virtual time). Contain the exception, record it, and fail
+                 the round trip — even under a timeout: the simulator knows
+                 the server died, the caller need not wait it out. *)
+              let what = Printexc.to_string exn in
+              Obs.Counter.inc t.drops.handler_error;
+              if Obs.tracing t.obs then
+                Obs.event t.obs "net.rpc_handler_error"
+                  ~labels:(("exn", what) :: endpoint_labels src dst);
+              if Proc.poll iv = None then Proc.fill iv (Handler_failed what)));
   let outcome =
     match timeout with
     | None -> Proc.read iv
@@ -125,24 +182,42 @@ let rpc ?timeout t ~src ~dst msg =
   in
   match outcome with
   | Ok_reply reply ->
-      t.rpcs <- t.rpcs + 1;
+      Obs.Counter.inc t.c_rpcs;
       reply
-  | Lost -> raise Rpc_dropped
+  | Lost | Handler_failed _ -> raise Rpc_dropped
 
 let set_tracer t tracer = t.tracer <- tracer
 
+let dropped_total d =
+  Obs.Counter.value d.src_down + Obs.Counter.value d.dst_missing
+  + Obs.Counter.value d.link_loss + Obs.Counter.value d.in_flight_down
+  + Obs.Counter.value d.handler_error
+
 let stats t =
   {
-    sent = t.sent;
-    delivered = t.delivered;
-    dropped = t.dropped;
-    rpcs = t.rpcs;
-    bytes_sent = t.bytes_sent;
+    sent = Obs.Counter.value t.c_sent;
+    delivered = Obs.Counter.value t.c_delivered;
+    dropped = dropped_total t.drops;
+    rpcs = Obs.Counter.value t.c_rpcs;
+    bytes_sent = Obs.Counter.value t.c_bytes;
   }
 
+let dropped_by_cause t =
+  [
+    ("src_down", Obs.Counter.value t.drops.src_down);
+    ("dst_missing", Obs.Counter.value t.drops.dst_missing);
+    ("link_loss", Obs.Counter.value t.drops.link_loss);
+    ("in_flight_down", Obs.Counter.value t.drops.in_flight_down);
+    ("handler_error", Obs.Counter.value t.drops.handler_error);
+  ]
+
 let reset_stats t =
-  t.sent <- 0;
-  t.delivered <- 0;
-  t.dropped <- 0;
-  t.rpcs <- 0;
-  t.bytes_sent <- 0
+  Obs.Counter.reset t.c_sent;
+  Obs.Counter.reset t.c_delivered;
+  Obs.Counter.reset t.c_rpcs;
+  Obs.Counter.reset t.c_bytes;
+  Obs.Counter.reset t.drops.src_down;
+  Obs.Counter.reset t.drops.dst_missing;
+  Obs.Counter.reset t.drops.link_loss;
+  Obs.Counter.reset t.drops.in_flight_down;
+  Obs.Counter.reset t.drops.handler_error

@@ -27,17 +27,26 @@ val create :
   default_latency:float ->
   ?default_jitter:float ->
   ?size_of:('msg -> int) ->
+  ?obs:Oasis_obs.Obs.t ->
   unit ->
   'msg t
 (** [size_of] estimates a message's wire size for the byte counters;
-    defaults to 0 (bytes not tracked). *)
+    defaults to 0 (bytes not tracked). [obs] is the registry traffic
+    counters and trace events report into — normally the world's shared
+    instance; defaults to a private one so standalone networks behave as
+    before. *)
 
 val engine : 'msg t -> Engine.t
+
+val obs : 'msg t -> Oasis_obs.Obs.t
+(** The registry this network reports into. *)
 
 val add_node : 'msg t -> Oasis_util.Ident.t -> 'msg handler -> unit
 (** Registering the same node twice raises [Invalid_argument]. *)
 
 val remove_node : 'msg t -> Oasis_util.Ident.t -> unit
+(** Also purges every link override touching the node (both directions), so
+    a later node reusing the ident starts from the network defaults. *)
 
 val set_link :
   'msg t -> Oasis_util.Ident.t -> Oasis_util.Ident.t -> latency:float -> ?jitter:float -> ?loss:float -> unit -> unit
@@ -63,7 +72,10 @@ val rpc :
     {!Proc.Timeout} after that much virtual time; without a timeout, a loss
     raises {!Rpc_dropped} immediately at the point of loss detection
     (simulator privilege: we know the packet died — this keeps lossless
-    experiments free of timeout tuning). *)
+    experiments free of timeout tuning). A handler that raises fails the
+    round trip with {!Rpc_dropped} in both modes (counted under the
+    [handler_error] drop cause and recorded as a trace event) — the caller
+    is never stranded on an unfilled ivar. *)
 
 val set_tracer :
   'msg t -> (src:Oasis_util.Ident.t -> dst:Oasis_util.Ident.t -> 'msg -> unit) option -> unit
@@ -71,14 +83,20 @@ val set_tracer :
     be lost), before delivery scheduling. For debugging and packet traces;
     [None] removes the tracer. *)
 
-(** Traffic statistics. *)
+(** Traffic statistics — a view over the registry counters. *)
 type stats = {
   sent : int;  (** messages handed to the network, including lost ones *)
   delivered : int;
-  dropped : int;
+  dropped : int;  (** sum over the per-cause counters, see {!dropped_by_cause} *)
   rpcs : int;  (** completed round trips *)
   bytes_sent : int;  (** per [size_of]; 0 when no estimator was given *)
 }
 
 val stats : 'msg t -> stats
+
+val dropped_by_cause : 'msg t -> (string * int) list
+(** Per-cause drop counts ([src_down], [dst_missing], [link_loss],
+    [in_flight_down], [handler_error]); the registry keys are
+    [net.dropped{cause=...}]. [stats.dropped] is their sum. *)
+
 val reset_stats : 'msg t -> unit

@@ -3,7 +3,12 @@
    - cancelled heartbeat watches release their engine timer
    - decommission releases cache-invalidation subscriptions and the cache
    - rule installation keeps insertion order (first-installed rule wins)
-   - fact-change cost follows the reverse index, not the RMC population *)
+   - fact-change cost follows the reverse index, not the RMC population
+   and for the observability-era network/broker fixes:
+   - a raising RPC handler fails the round trip instead of stranding it
+   - remove_node purges the node's link overrides in both directions
+   - drops are attributed to exactly one cause; broker suppression of
+     in-flight deliveries after unsubscribe is visible in the stats *)
 
 module World = Oasis_core.World
 module Service = Oasis_core.Service
@@ -15,6 +20,9 @@ module Engine = Oasis_sim.Engine
 module Broker = Oasis_event.Broker
 module Heartbeat = Oasis_event.Heartbeat
 module Cr = Oasis_cert.Credential_record
+module Network = Oasis_sim.Network
+module Proc = Oasis_sim.Proc
+module Ident = Oasis_util.Ident
 module Rng = Oasis_util.Rng
 module Value = Oasis_util.Value
 open Fixtures
@@ -161,6 +169,117 @@ let test_fact_change_cost_linear_baseline () =
   Alcotest.(check int) "unindexed change re-scans every active RMC" active
     (Service.stats t.hospital).Service.env_rechecks
 
+let counting_handler received =
+  { Network.on_oneway = (fun ~src:_ _ -> incr received); on_rpc = (fun ~src:_ m -> m) }
+
+(* A handler that raises used to strand the caller on a never-filled ivar
+   (the rpc blocked forever at a fixed virtual time). The round trip must
+   fail fast with Rpc_dropped — even under a timeout, since the simulator
+   knows the server died — and be accounted under the handler_error cause. *)
+let test_rpc_handler_error_fails_fast () =
+  let engine = Engine.create () in
+  let net = Network.create engine (Rng.create 1) ~default_latency:1.0 () in
+  let a = Ident.make "node" 0 and b = Ident.make "node" 1 in
+  Network.add_node net a (counting_handler (ref 0));
+  Network.add_node net b
+    { Network.on_oneway = (fun ~src:_ _ -> ()); on_rpc = (fun ~src:_ _ -> failwith "handler bug") };
+  let outcome = ref `Pending in
+  Proc.spawn engine (fun () ->
+      match Network.rpc net ~src:a ~dst:b () with
+      | _ -> outcome := `Replied
+      | exception Network.Rpc_dropped -> outcome := `Dropped);
+  Engine.run engine;
+  (match !outcome with
+  | `Dropped -> ()
+  | `Replied -> Alcotest.fail "handler exception produced a reply"
+  | `Pending -> Alcotest.fail "caller stranded: rpc never completed");
+  (* Under a timeout the failure still surfaces when the handler dies, not
+     when the timer expires. *)
+  let t0 = Engine.now engine in
+  let failed_at = ref nan in
+  Proc.spawn engine (fun () ->
+      match Network.rpc ~timeout:50.0 net ~src:a ~dst:b () with
+      | _ -> Alcotest.fail "handler exception produced a reply (timeout mode)"
+      | exception Network.Rpc_dropped -> failed_at := Engine.now engine
+      | exception Proc.Timeout -> Alcotest.fail "waited for the timeout instead of failing fast");
+  Engine.run engine;
+  Alcotest.(check bool) "failed as soon as the handler died" true (!failed_at -. t0 < 50.0);
+  Alcotest.(check int) "counted as handler_error" 2
+    (List.assoc "handler_error" (Network.dropped_by_cause net));
+  Alcotest.(check int) "legacy dropped view agrees" 2 (Network.stats net).Network.dropped
+
+(* remove_node used to leave the node's link overrides behind, so a later
+   node reusing the ident inherited a dead node's link profile. The purge
+   must cover both directions. *)
+let test_remove_node_purges_links () =
+  let engine = Engine.create () in
+  let net = Network.create engine (Rng.create 1) ~default_latency:1.0 () in
+  let a = Ident.make "node" 0 and b = Ident.make "node" 1 in
+  let got_a = ref 0 and got_b = ref 0 in
+  Network.add_node net a (counting_handler got_a);
+  Network.add_node net b (counting_handler got_b);
+  Network.set_link net a b ~latency:0.1 ~loss:1.0 ();
+  Network.set_link net b a ~latency:0.1 ~loss:1.0 ();
+  Network.send net ~src:a ~dst:b ();
+  Engine.run engine;
+  Alcotest.(check int) "fully lossy link drops" 0 !got_b;
+  Alcotest.(check int) "loss attributed to link_loss" 1
+    (List.assoc "link_loss" (Network.dropped_by_cause net));
+  Network.remove_node net b;
+  let got_b' = ref 0 in
+  Network.add_node net b (counting_handler got_b');
+  Network.send net ~src:a ~dst:b ();
+  Network.send net ~src:b ~dst:a ();
+  Engine.run engine;
+  Alcotest.(check int) "reused ident gets the default a->b link" 1 !got_b';
+  Alcotest.(check int) "reverse direction purged too" 1 !got_a
+
+(* Every drop carries exactly one cause and the legacy aggregate is their
+   sum; conservation (sent = delivered + dropped) still holds. *)
+let test_drop_causes_sum_to_legacy_total () =
+  let engine = Engine.create () in
+  let net = Network.create engine (Rng.create 3) ~default_latency:1.0 () in
+  let a = Ident.make "node" 0 and b = Ident.make "node" 1 and c = Ident.make "node" 2 in
+  let got = ref 0 in
+  Network.add_node net a (counting_handler got);
+  Network.add_node net b (counting_handler got);
+  Network.add_node net c (counting_handler got);
+  Network.send net ~src:a ~dst:(Ident.make "node" 9) ();
+  Network.set_down net c true;
+  Network.send net ~src:c ~dst:a ();
+  Network.set_down net c false;
+  Network.send net ~src:a ~dst:c ();
+  ignore (Engine.schedule engine ~after:0.5 (fun () -> Network.set_down net c true));
+  Network.send net ~src:a ~dst:b ();
+  Engine.run engine;
+  let causes = Network.dropped_by_cause net in
+  Alcotest.(check int) "dst_missing" 1 (List.assoc "dst_missing" causes);
+  Alcotest.(check int) "src_down" 1 (List.assoc "src_down" causes);
+  Alcotest.(check int) "in_flight_down" 1 (List.assoc "in_flight_down" causes);
+  let stats = Network.stats net in
+  Alcotest.(check int) "legacy dropped = per-cause sum" 3 stats.Network.dropped;
+  Alcotest.(check int) "conservation" stats.Network.sent
+    (stats.Network.delivered + stats.Network.dropped)
+
+(* An unsubscribe while a publish is in flight suppresses the delivery;
+   the accounting must show it: for each publish, subscribers at publish
+   time = notified + suppressed. *)
+let test_broker_inflight_unsubscribe_accounted () =
+  let engine = Engine.create () in
+  let broker = Broker.create engine (Rng.create 1) ~notify_latency:1.0 () in
+  let got = ref 0 in
+  let owner = Ident.make "svc" 1 in
+  let s1 = Broker.subscribe broker "t" ~owner (fun _ _ -> incr got) in
+  let _s2 = Broker.subscribe broker "t" ~owner (fun _ _ -> incr got) in
+  Broker.publish broker "t" ();
+  Broker.unsubscribe broker s1;
+  Engine.run engine;
+  Alcotest.(check int) "one callback ran" 1 !got;
+  let st = Broker.stats broker in
+  Alcotest.(check int) "published" 1 st.Broker.published;
+  Alcotest.(check int) "notified" 1 st.Broker.notified;
+  Alcotest.(check int) "in-flight suppression visible" 1 st.Broker.suppressed
+
 let suite =
   ( "regressions",
     [
@@ -173,4 +292,10 @@ let suite =
       Alcotest.test_case "fact-change cost, indexed" `Quick test_fact_change_cost_indexed;
       Alcotest.test_case "fact-change cost, linear baseline" `Quick
         test_fact_change_cost_linear_baseline;
+      Alcotest.test_case "rpc handler error fails fast" `Quick test_rpc_handler_error_fails_fast;
+      Alcotest.test_case "remove_node purges links" `Quick test_remove_node_purges_links;
+      Alcotest.test_case "drop causes sum to legacy total" `Quick
+        test_drop_causes_sum_to_legacy_total;
+      Alcotest.test_case "broker in-flight unsubscribe accounted" `Quick
+        test_broker_inflight_unsubscribe_accounted;
     ] )
