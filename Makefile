@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint trace-smoke check bench doc clean examples
+.PHONY: all build test lint trace-smoke chaos check bench doc clean examples
 
 all: build
 
@@ -23,11 +23,17 @@ lint: build
 trace-smoke: build
 	dune exec bin/oasisctl.exe -- trace scenarios/hospital.scn --check -o /dev/null
 
+# Randomised fault schedules (partitions, crash/restart, revocation)
+# against the DESIGN.md §11 safety properties, including the fail-open
+# test-of-the-test. Also part of `dune runtest` via the fault/chaos suites.
+chaos: build
+	dune exec test/test_main.exe -- test chaos
+
 # The full gate: build everything, run the test suite, lint the shipped
-# policies, smoke the trace pipeline, and smoke the bench harness
-# (single cheap iteration; also proves the JSON emitters run).
-check: build test lint trace-smoke
-	dune exec bench/main.exe -- E9 E11 --smoke
+# policies, smoke the trace pipeline, run the chaos harness, and smoke the
+# bench harness (single cheap iteration; also proves the JSON emitters run).
+check: build test lint trace-smoke chaos
+	dune exec bench/main.exe -- E9 E11 E12 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).
 bench:

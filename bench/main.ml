@@ -35,6 +35,8 @@ module Codec = Oasis_cert.Codec
 module Secret = Oasis_crypto.Secret
 module Sha256 = Oasis_crypto.Sha256
 module Hmac = Oasis_crypto.Hmac
+module Fault = Oasis_sim.Fault
+module Backoff = Oasis_util.Backoff
 module Ident = Oasis_util.Ident
 module Value = Oasis_util.Value
 module Obs = Oasis_obs.Obs
@@ -939,11 +941,195 @@ let e11 () =
   Printf.printf "\n  results written to BENCH_trace.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E12 — fault tolerance: re-validation storms and propagation latency *)
+(* ------------------------------------------------------------------ *)
+
+(* Two measurements into BENCH_fault.json (DESIGN.md §11):
+
+   (a) the post-heal re-validation storm: N roles at one relying service go
+       suspect behind a partition; on heal, anti-entropy reconciliation
+       re-validates all of them against the issuer. The bounded worker pool
+       ([reconcile_batch]) is compared with the naive configuration (batch =
+       N, every suspect polls concurrently) on wasted retries and dropped
+       packets while partitioned, completed status RPCs, and virtual drain
+       time after the heal.
+
+   (b) revocation-propagation latency: virtual seconds from revocation at
+       the issuer to deactivation at the relying service, across monitoring
+       disciplines and partition timings — including the never-healed case,
+       where fail-closed degradation bounds the latency at
+       detection-deadline + grace with no connectivity at all. *)
+let e12 () =
+  header "E12 Fault tolerance: reconciliation storms, revocation latency under partition";
+  let smoke = !smoke_mode in
+  let n_roles = if smoke then 8 else 64 in
+  let retry = { Backoff.default with base = 0.02; cap = 0.2; max_attempts = 4 } in
+
+  (* -------- (a) the storm -------- *)
+  let storm ~batch =
+    let world = World.create ~seed:12 () in
+    let issuer =
+      Service.create world ~name:"issuer" ~policy:"initial base(u) <- env:enrolled(u);" ()
+    in
+    Env.declare_fact (Service.env issuer) "enrolled";
+    let config =
+      {
+        Service.default_config with
+        retry;
+        (* long grace: resolution must come from reconciliation, not the
+           fail-closed timer, so drain time measures the worker pool *)
+        suspect_grace = 120.0;
+        reconcile_batch = batch;
+      }
+    in
+    let relying =
+      Service.create world ~name:"relying" ~config ~policy:"derived(u) <- *base(u)@issuer;" ()
+    in
+    for i = 0 to n_roles - 1 do
+      let p = Principal.create world ~name:(Printf.sprintf "p%d" i) in
+      Env.assert_fact (Service.env issuer) "enrolled" [ Value.Int i ];
+      World.run_proc world (fun () ->
+          let s = Principal.start_session p in
+          ignore
+            (ok (Principal.activate p s issuer ~role:"base" ~args:[ Some (Value.Int i) ] ()));
+          ignore
+            (ok (Principal.activate p s relying ~role:"derived" ~args:[ Some (Value.Int i) ] ())))
+    done;
+    assert (List.length (Service.active_roles relying) = n_roles);
+    Fault.partition (World.fault world) ~name:"wan" [ Service.id relying ] [ Service.id issuer ];
+    (* One exhausted validation callback is the failure detector: it marks
+       every role depending on the unreachable issuer suspect. *)
+    let q = Principal.create world ~name:"q" in
+    Env.assert_fact (Service.env issuer) "enrolled" [ Value.Int 999 ];
+    World.run_proc world (fun () ->
+        let s = Principal.start_session q in
+        ignore (ok (Principal.activate q s issuer ~role:"base" ~args:[ Some (Value.Int 999) ] ()));
+        match Principal.activate q s relying ~role:"derived" ~args:[ Some (Value.Int 999) ] () with
+        | Ok _ -> failwith "E12: derived granted across a partition"
+        | Error _ -> ());
+    assert (Service.suspect_count relying = n_roles);
+    (* Let the pollers hammer the dead link for a fixed window, then heal. *)
+    World.run_until world (World.now world +. 2.0);
+    let retries_at key =
+      match Obs.value (World.obs world) key with Some v -> int_of_float v | None -> 0
+    in
+    let wasted_retries = retries_at "rpc.retries{site=reconcile}" in
+    let wasted_drops = List.assoc "partitioned" (Network.dropped_by_cause (World.network world)) in
+    let rpcs_before = (Network.stats (World.network world)).Network.rpcs in
+    Fault.heal (World.fault world) "wan";
+    let healed_at = World.now world in
+    let deadline = healed_at +. 60.0 in
+    while Service.suspect_count relying > 0 && World.now world < deadline do
+      World.run_until world (World.now world +. 0.05)
+    done;
+    assert (Service.suspect_count relying = 0);
+    assert ((Service.stats relying).Service.reconciled_reinstated = n_roles);
+    let drain_s = World.now world -. healed_at in
+    let status_rpcs = (Network.stats (World.network world)).Network.rpcs - rpcs_before in
+    (wasted_retries, wasted_drops, status_rpcs, drain_s)
+  in
+
+  Printf.printf "  (a) %d suspect roles reconcile after a heal\n\n" n_roles;
+  Printf.printf "  %-14s | %14s | %13s | %11s | %9s\n" "mode" "wasted retries"
+    "wasted drops" "status rpcs" "drain s";
+  let storm_rows =
+    List.map
+      (fun (mode, batch) ->
+        let wasted_retries, wasted_drops, status_rpcs, drain_s = storm ~batch in
+        Printf.printf "  %-14s | %14d | %13d | %11d | %9.3f\n" mode wasted_retries
+          wasted_drops status_rpcs drain_s;
+        Printf.sprintf
+          "    { \"mode\": %S, \"batch\": %d, \"suspects\": %d, \"wasted_retries\": %d,\n\
+          \      \"wasted_drops\": %d, \"status_rpcs\": %d, \"drain_seconds\": %.4f }"
+          mode batch n_roles wasted_retries wasted_drops status_rpcs drain_s)
+      [ ("batched", Service.default_config.Service.reconcile_batch); ("naive", n_roles) ]
+  in
+
+  (* -------- (b) revocation-propagation latency -------- *)
+  let period = 0.5 and hb_deadline = 1.5 and grace = 2.0 in
+  let latency ~monitoring ~partitioned ~heal_after =
+    let world = World.create ~seed:12 ?monitoring () in
+    let issuer =
+      Service.create world ~name:"issuer" ~policy:"initial base <- env:eq(1, 1);" ()
+    in
+    let config =
+      { Service.default_config with retry; suspect_grace = grace; reconcile_batch = 8 }
+    in
+    let relying =
+      Service.create world ~name:"relying" ~config ~policy:"derived <- *base@issuer;" ()
+    in
+    let p = Principal.create world ~name:"p" in
+    let base, derived =
+      World.run_proc world (fun () ->
+          let s = Principal.start_session p in
+          let base = ok (Principal.activate p s issuer ~role:"base" ()) in
+          let derived = ok (Principal.activate p s relying ~role:"derived" ()) in
+          (base, derived))
+    in
+    World.run_until world 1.0;
+    if partitioned then
+      Fault.partition (World.fault world) ~name:"wan" [ Service.id relying ]
+        [ Service.id issuer ];
+    let revoked_at = World.now world in
+    ignore (Service.revoke_certificate issuer base.Rmc.id ~reason:"E12");
+    (match heal_after with
+    | Some d ->
+        World.run_until world (revoked_at +. d);
+        Fault.heal (World.fault world) "wan"
+    | None -> ());
+    let limit = revoked_at +. 30.0 in
+    while
+      Service.is_valid_certificate relying derived.Rmc.id && World.now world < limit
+    do
+      World.run_until world (World.now world +. 0.01)
+    done;
+    assert (not (Service.is_valid_certificate relying derived.Rmc.id));
+    World.now world -. revoked_at
+  in
+  let hb = Some (World.Heartbeats { period; deadline = hb_deadline }) in
+  let cases =
+    [
+      ("change-events, connected", None, false, None);
+      ("heartbeats, connected", hb, false, None);
+      ("heartbeats, heal after 0.5", hb, true, Some 0.5);
+      ("heartbeats, heal after 1.5", hb, true, Some 1.5);
+      ("heartbeats, never healed", hb, true, None);
+    ]
+  in
+  Printf.printf "\n  (b) revocation -> deactivation latency (virtual s); deadline %.1f, grace %.1f\n\n"
+    hb_deadline grace;
+  Printf.printf "  %-28s | %10s\n" "case" "latency s";
+  let latency_rows =
+    List.map
+      (fun (case, monitoring, partitioned, heal_after) ->
+        let l = latency ~monitoring ~partitioned ~heal_after in
+        Printf.printf "  %-28s | %10.3f\n" case l;
+        Printf.sprintf "    { \"case\": %S, \"latency_seconds\": %.4f }" case l)
+      cases
+  in
+  let out = open_out "BENCH_fault.json" in
+  Printf.fprintf out
+    "{\n\
+    \  \"benchmark\": \"fault_tolerance\",\n\
+    \  \"generated_by\": \"dune exec bench/main.exe -- E12%s\",\n\
+    \  \"params\": { \"roles\": %d, \"heartbeat_period\": %.2f, \"heartbeat_deadline\": %.2f,\n\
+    \             \"suspect_grace\": %.2f, \"smoke\": %b },\n\
+    \  \"claim\": \"bounded reconciliation batches tame the post-heal re-validation storm; fail-closed degradation bounds revocation propagation even without connectivity\",\n\
+    \  \"storm_rows\": [\n%s\n  ],\n\
+    \  \"latency_rows\": [\n%s\n  ]\n}\n"
+    (if smoke then " --smoke" else "")
+    n_roles period hb_deadline grace smoke
+    (String.concat ",\n" storm_rows)
+    (String.concat ",\n" latency_rows);
+  close_out out;
+  Printf.printf "\n  results written to BENCH_fault.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
-    ("E8", e8); ("E9", e9); ("E11", e11);
+    ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12);
   ]
 
 let () =

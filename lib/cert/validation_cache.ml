@@ -47,6 +47,11 @@ let invalidate t cert_id =
       Ident.Tbl.replace t.table cert_id Invalid;
       Obs.Counter.inc t.c_invalidations
 
+let drop t cert_id =
+  match Ident.Tbl.find_opt t.table cert_id with
+  | Some Valid -> Ident.Tbl.remove t.table cert_id
+  | Some Invalid | None -> ()
+
 let clear t = Ident.Tbl.reset t.table
 
 type stats = {

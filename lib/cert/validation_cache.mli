@@ -44,6 +44,12 @@ val invalidate : t -> Oasis_util.Ident.t -> unit
 (** Called on an invalidation event from the issuer's channel. Converts the
     entry (present or not) into a cached negative verdict. Idempotent. *)
 
+val drop : t -> Oasis_util.Ident.t -> unit
+(** Retires a positive entry without recording a negative verdict: the
+    verdict became {e unknown} (issuer unreachable, heartbeat silence), not
+    {e false}. The next presentation performs the callback again. Cached
+    negatives are left in place — revocation stays permanent. *)
+
 val clear : t -> unit
 
 type stats = {

@@ -63,6 +63,8 @@ type msg =
   | Challenge_response of string
   | Env_check of { pred : string; args : Value.t list }
   | Env_result of bool
+  | Check_cr of { cert_id : Ident.t }
+  | Cr_status of { valid : bool }
   | Denied of denial
 
 let pp_msg ppf = function
@@ -84,6 +86,8 @@ let pp_msg ppf = function
   | Challenge_response _ -> Format.pp_print_string ppf "Challenge_response"
   | Env_check { pred; _ } -> Format.fprintf ppf "Env_check(%s)" pred
   | Env_result ok -> Format.fprintf ppf "Env_result(%b)" ok
+  | Check_cr { cert_id } -> Format.fprintf ppf "Check_cr(%a)" Ident.pp cert_id
+  | Cr_status { valid } -> Format.fprintf ppf "Cr_status(%b)" valid
   | Denied d -> Format.fprintf ppf "Denied(%a)" pp_denial d
 
 type event =
@@ -134,4 +138,6 @@ let size_of msg =
   | Challenge_response r -> String.length r
   | Env_check { pred; args } -> String.length pred + values_size args
   | Env_result _ -> 1
+  | Check_cr _ -> 16
+  | Cr_status _ -> 1
   | Denied d -> String.length (denial_to_string d)

@@ -80,6 +80,13 @@ type msg =
      be ascertained by database lookup at some service" (Sect. 2). *)
   | Env_check of { pred : string; args : Oasis_util.Value.t list }
   | Env_result of bool
+  (* Anti-entropy reconciliation: after a partition heals or a node
+     restarts, a dependent service asks the issuer point-blank whether a
+     credential record is still valid. Cheaper than a full validation
+     callback — the dependent already holds the certificate; only the
+     issuer's current record state is in question. *)
+  | Check_cr of { cert_id : Oasis_util.Ident.t }
+  | Cr_status of { valid : bool }
   | Denied of denial
 
 val pp_msg : Format.formatter -> msg -> unit

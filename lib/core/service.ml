@@ -1,6 +1,8 @@
 module Ident = Oasis_util.Ident
 module Value = Oasis_util.Value
 module Rng = Oasis_util.Rng
+module Backoff = Oasis_util.Backoff
+module Proc = Oasis_sim.Proc
 module Engine = Oasis_sim.Engine
 module Network = Oasis_sim.Network
 module Broker = Oasis_event.Broker
@@ -29,7 +31,10 @@ type config = {
   challenge_on_invocation : bool;
   challenge_appointment_holders : bool;
   cache_remote_validation : bool;
-  validation_retries : int;
+  retry : Backoff.policy;
+  suspect_grace : float;
+  reconcile_batch : int;
+  fail_open : bool;
   index_env_watches : bool;
   strict_install : bool;
 }
@@ -40,7 +45,12 @@ let default_config =
     challenge_on_invocation = false;
     challenge_appointment_holders = false;
     cache_remote_validation = true;
-    validation_retries = 2;
+    (* Three immediate attempts: byte-for-byte the historical fixed-count
+       retry. Fault-tolerant deployments swap in a jittered policy. *)
+    retry = Backoff.fixed 3;
+    suspect_grace = 0.0;
+    reconcile_batch = 8;
+    fail_open = false;
     index_env_watches = true;
     strict_install = true;
   }
@@ -62,6 +72,20 @@ type watch =
       (* the slot holds the currently armed re-check timer; re-arming
          replaces the handle instead of accumulating dead ones *)
 
+(* A remote (or local prerequisite) credential supporting an active role.
+   Durable: survives crash (unlike the live watch), so restart can rebuild
+   monitors and reconciliation knows what to re-validate. *)
+type dep = {
+  dep_issuer : Ident.t;
+  dep_cert : Ident.t;
+  mutable dep_watch : watch option;  (* None while silent/crashed *)
+}
+
+(* Per-role suspect state (DESIGN.md §11): the failure detector fired but
+   revocation is not yet confirmed. Resolved by reconciliation (reinstate or
+   revoke) or by the grace timer (fail-closed degradation). *)
+type suspect_state = { mutable sus_timer : Engine.cancel option }
+
 (* An RMC this service has issued, with its active-security state. *)
 type issued_rmc = {
   rmc : Rmc.t;
@@ -69,10 +93,13 @@ type issued_rmc = {
   initial : bool;
   session_key : string;
   ir_principal : Ident.t;
-  mutable watches : watch list;
+  mutable deps : dep list;
+  mutable watches : watch list;  (* env re-check timers *)
   mutable env_watch : (string * Value.t list) list;
       (* ground membership env constraints; first component may carry '!' *)
   mutable beats : Heartbeat.emitter option;
+  mutable suspect : suspect_state option;
+  mutable reconciling : bool;  (* queued or running in the reconciler *)
 }
 
 type issued_appt = {
@@ -97,6 +124,11 @@ type counters = {
   revocations : Obs.Counter.t;
   cascade_deactivations : Obs.Counter.t;
   env_rechecks : Obs.Counter.t;
+  suspects : Obs.Counter.t;
+  reconciled_reinstated : Obs.Counter.t;
+  reconciled_revoked : Obs.Counter.t;
+  retries_validate : Obs.Counter.t;
+  retries_reconcile : Obs.Counter.t;
 }
 
 type stats = {
@@ -112,6 +144,9 @@ type stats = {
   revocations : int;
   cascade_deactivations : int;
   env_rechecks : int;
+  suspects : int;
+  reconciled_reinstated : int;
+  reconciled_revoked : int;
   cache : Vcache.stats;
 }
 
@@ -137,6 +172,11 @@ type t = {
   cache_watched : watch Ident.Tbl.t;  (* remote cert id -> invalidation watch *)
   st : counters;
   mutable audit : audit_entry list;
+  mutable crashed : bool;
+  (* Reconciliation scheduler: at most [config.reconcile_batch] suspect
+     roles re-validate concurrently; the rest queue. *)
+  mutable recon_running : int;
+  recon_queue : issued_rmc Queue.t;
 }
 
 let id t = t.sid
@@ -182,7 +222,10 @@ let verify_own_appt t (appt : Appointment.t) =
   && (match Cr.find t.crs appt.id with Some record -> Cr.is_valid record | None -> false)
 
 (* Starts an invalidation watch for a remote certificate, used both for
-   membership monitoring and for cache invalidation. *)
+   membership monitoring and for cache invalidation. [on_dead] learns how
+   the credential died: [`Revoked reason] is definitive (the issuer said
+   so); [`Silence] is a failure-detector verdict (heartbeats stopped) — the
+   issuer may be partitioned away, not revoking (DESIGN.md §11). *)
 let watch_invalidation t ~issuer ~cert_id ~on_dead =
   let topic = Cr.topic_of ~issuer ~cert_id in
   match World.monitoring t.world with
@@ -190,7 +233,7 @@ let watch_invalidation t ~issuer ~cert_id ~on_dead =
       let sub =
         Broker.subscribe (World.broker t.world) topic ~owner:t.sid (fun _topic event ->
             match event with
-            | Protocol.Invalidated { reason; _ } -> on_dead reason
+            | Protocol.Invalidated { reason; _ } -> on_dead (`Revoked reason)
             | Protocol.Beat _ | Protocol.Replicated _ -> ())
       in
       Watch_event sub
@@ -198,8 +241,8 @@ let watch_invalidation t ~issuer ~cert_id ~on_dead =
       let monitor =
         Heartbeat.watch
           ~accept:(function Protocol.Beat _ -> true | _ -> false)
-          (World.broker t.world) (World.engine t.world) ~topic ~deadline
-          ~on_miss:(fun () -> on_dead "heartbeat missed")
+          ~owner:t.sid (World.broker t.world) (World.engine t.world) ~topic ~deadline
+          ~on_miss:(fun () -> on_dead `Silence)
       in
       Watch_beat monitor
 
@@ -243,6 +286,247 @@ let unindex_env_watches t issued =
           if Ident.Tbl.length watchers = 0 then Hashtbl.remove t.env_index base)
     issued.env_watch
 
+(* ------------------------------------------------------------------ *)
+(* Revocation and cascading deactivation (Fig. 5)                     *)
+(* ------------------------------------------------------------------ *)
+
+let announce_invalidation t record reason =
+  Broker.publish ~src:t.sid (World.broker t.world) (Cr.topic record)
+    (Protocol.Invalidated { issuer = t.sid; cert_id = record.Cr.cert_id; reason })
+
+let cancel_suspect t issued =
+  match issued.suspect with
+  | None -> ()
+  | Some s ->
+      (match s.sus_timer with
+      | Some c ->
+          Engine.cancel (World.engine t.world) c;
+          s.sus_timer <- None
+      | None -> ());
+      issued.suspect <- None
+
+let deactivate_rmc t (issued : issued_rmc) ~reason ~cascade =
+  match Cr.revoke t.crs issued.rmc.Rmc.id ~at:(World.now t.world) ~reason with
+  | None -> () (* already revoked *)
+  | Some record ->
+      Obs.Counter.inc t.st.revocations;
+      if cascade then Obs.Counter.inc t.st.cascade_deactivations;
+      if Obs.tracing t.obs then
+        Obs.event t.obs "svc.revoke"
+          ~labels:
+            [
+              ("service", t.sname);
+              ("cert", Ident.to_string issued.rmc.Rmc.id);
+              ("role", issued.rmc.Rmc.role);
+              ("cascade", if cascade then "true" else "false");
+              ("reason", reason);
+            ];
+      Log.debug (fun m ->
+          m "%s deactivates %s (%s): %s" t.sname (Ident.to_string issued.rmc.Rmc.id)
+            issued.rmc.Rmc.role reason);
+      (match issued.beats with Some e -> Heartbeat.stop_emitter e | None -> ());
+      issued.beats <- None;
+      cancel_suspect t issued;
+      List.iter
+        (fun dep ->
+          match dep.dep_watch with
+          | Some w ->
+              dep.dep_watch <- None;
+              drop_watch t w
+          | None -> ())
+        issued.deps;
+      List.iter (drop_watch t) issued.watches;
+      issued.watches <- [];
+      unindex_env_watches t issued;
+      issued.env_watch <- [];
+      announce_invalidation t record reason
+
+(* ------------------------------------------------------------------ *)
+(* Suspect state and anti-entropy reconciliation (DESIGN.md §11)      *)
+(* ------------------------------------------------------------------ *)
+
+let dep_locally_valid t dep =
+  match Cr.find t.crs dep.dep_cert with Some r -> Cr.is_valid r | None -> false
+
+(* How long a reconciler waits between rounds while the issuer stays
+   unreachable. The backoff cap, so a heal is noticed within one cap —
+   configure cap < suspect_grace and suspects resolve inside the grace
+   window of heal (the chaos invariant). *)
+let poll_interval t =
+  let cap = t.config.retry.Backoff.cap in
+  if cap > 0.0 then cap else 0.05
+
+let trace_role t what (issued : issued_rmc) extra =
+  if Obs.tracing t.obs then
+    Obs.event t.obs what
+      ~labels:
+        ([
+           ("service", t.sname);
+           ("cert", Ident.to_string issued.rmc.Rmc.id);
+           ("role", issued.rmc.Rmc.role);
+         ]
+        @ extra)
+
+(* The mutually recursive core: a watch going silent enters suspect state,
+   suspect roles enqueue for reconciliation, reconciliation re-creates
+   watches on reinstatement. *)
+let rec watch_dep t issued dep =
+  let watch =
+    watch_invalidation t ~issuer:dep.dep_issuer ~cert_id:dep.dep_cert ~on_dead:(function
+      | `Revoked why ->
+          deactivate_rmc t issued ~cascade:true
+            ~reason:
+              (Printf.sprintf "supporting credential %s invalid: %s"
+                 (Ident.to_string dep.dep_cert) why)
+      | `Silence ->
+          (* The monitor is dead after a miss; retire the handle so
+             reinstatement knows to rebuild it. *)
+          (match dep.dep_watch with
+          | Some w ->
+              dep.dep_watch <- None;
+              drop_watch t w
+          | None -> ());
+          note_silence t issued dep)
+  in
+  dep.dep_watch <- Some watch
+
+and note_silence t issued dep =
+  if t.crashed then ()
+  else if t.config.suspect_grace <= 0.0 || Ident.equal dep.dep_issuer t.sid then
+    (* Legacy fail-closed-immediately behaviour: silence is revocation.
+       Own-issuer credentials never go suspect — local state is always
+       reachable, so silence on a local channel is authoritative. *)
+    deactivate_rmc t issued ~cascade:true
+      ~reason:
+        (Printf.sprintf "supporting credential %s invalid: heartbeat missed"
+           (Ident.to_string dep.dep_cert))
+  else
+    enter_suspect t issued
+      ~why:(Printf.sprintf "heartbeat missed for %s" (Ident.to_string dep.dep_cert))
+
+and enter_suspect t issued ~why =
+  if (not t.crashed) && Option.is_none issued.suspect && Cr.is_valid issued.record then begin
+    Obs.Counter.inc t.st.suspects;
+    trace_role t "svc.suspect" issued [ ("why", why) ];
+    let s = { sus_timer = None } in
+    issued.suspect <- Some s;
+    let at = World.now t.world +. Float.max 0.0 t.config.suspect_grace in
+    s.sus_timer <-
+      Some
+        (Engine.schedule_at (World.engine t.world) ~at (fun () ->
+             s.sus_timer <- None;
+             match issued.suspect with
+             | Some s' when s' == s && Cr.is_valid issued.record ->
+                 issued.suspect <- None;
+                 if t.config.fail_open then
+                   (* Deliberately broken ablation (the chaos harness's "test
+                      of the test"): on grace expiry the role is optimistically
+                      kept active, violating the paper's membership contract. *)
+                   trace_role t "svc.fail_open" issued []
+                 else begin
+                   trace_role t "svc.degrade" issued [ ("why", why) ];
+                   deactivate_rmc t issued ~cascade:true
+                     ~reason:
+                       (Printf.sprintf "fail-closed degradation: %s unresolved within grace" why)
+                 end
+             | Some _ | None -> ()));
+    enqueue_reconcile t issued
+  end
+
+and enqueue_reconcile t issued =
+  if not issued.reconciling then begin
+    issued.reconciling <- true;
+    Queue.push issued t.recon_queue;
+    pump_reconcile t
+  end
+
+and pump_reconcile t =
+  if (not t.crashed) && t.recon_running < max 1 t.config.reconcile_batch then
+    match Queue.take_opt t.recon_queue with
+    | None -> ()
+    | Some issued ->
+        t.recon_running <- t.recon_running + 1;
+        World.spawn t.world (fun () -> reconcile_worker t issued);
+        pump_reconcile t
+
+(* One round-trip per remote dependency, with the shared backoff policy.
+   [Some valid] is authoritative; [None] means the issuer stayed
+   unreachable (or does not speak Check_cr) — keep polling, never guess. *)
+and check_dep t dep =
+  if Ident.equal dep.dep_issuer t.sid then Some (dep_locally_valid t dep)
+  else
+    match
+      Backoff.retry t.config.retry (World.rng t.world) ~sleep:Proc.sleep
+        ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Counter.inc t.st.retries_reconcile)
+        (fun () ->
+          match
+            Network.rpc (World.network t.world) ~src:t.sid ~dst:dep.dep_issuer
+              (Protocol.Check_cr { cert_id = dep.dep_cert })
+          with
+          | Protocol.Cr_status { valid } -> Ok (Some valid)
+          | _ -> Ok None
+          | exception Network.Rpc_dropped -> Error ())
+    with
+    | Ok verdict -> verdict
+    | Error () -> None
+
+and reconcile_worker t issued =
+  let live () = (not t.crashed) && Cr.is_valid issued.record && Option.is_some issued.suspect in
+  let rec loop () =
+    if live () then begin
+      let dead = ref false and unresolved = ref false in
+      List.iter
+        (fun dep ->
+          if live () && not !dead then
+            match check_dep t dep with
+            | Some true -> ()
+            | Some false -> dead := true
+            | None -> unresolved := true)
+        issued.deps;
+      if not (live ()) then ()
+      else if !dead then begin
+        cancel_suspect t issued;
+        Obs.Counter.inc t.st.reconciled_revoked;
+        trace_role t "svc.reconcile" issued [ ("outcome", "revoked") ];
+        deactivate_rmc t issued ~cascade:true
+          ~reason:"reconciliation: supporting credential revoked at issuer"
+      end
+      else if !unresolved then begin
+        Proc.sleep (poll_interval t);
+        loop ()
+      end
+      else begin
+        (* Every dependency vouched for: reinstate. Rebuild the watches the
+           silence (or crash) tore down; monitoring resumes from now. *)
+        cancel_suspect t issued;
+        List.iter (fun dep -> if Option.is_none dep.dep_watch then watch_dep t issued dep) issued.deps;
+        Obs.Counter.inc t.st.reconciled_reinstated;
+        trace_role t "svc.reconcile" issued [ ("outcome", "reinstated") ]
+      end
+    end
+  in
+  loop ();
+  issued.reconciling <- false;
+  t.recon_running <- t.recon_running - 1;
+  pump_reconcile t
+
+(* Validation-RPC unreachability is a failure-detector signal too: every
+   active role depending on that issuer becomes suspect (Change_events
+   worlds have no heartbeat to miss). Gated on a positive grace — under the
+   legacy configuration an unreachable issuer only fails the one request. *)
+let note_unreachable t issuer =
+  if (not t.crashed) && t.config.suspect_grace > 0.0 && not (Ident.equal issuer t.sid) then
+    Ident.Tbl.iter
+      (fun _ issued ->
+        if
+          Cr.is_valid issued.record
+          && Option.is_none issued.suspect
+          && List.exists (fun d -> Ident.equal d.dep_issuer issuer) issued.deps
+        then
+          enter_suspect t issued
+            ~why:(Printf.sprintf "issuer %s unreachable" (Ident.to_string issuer)))
+      t.rmcs
+
 (* Remote validation with optional caching (Sect. 4, experiment E3).
 
    Positive verdicts are cached with an invalidation watch on the issuer's
@@ -269,24 +553,35 @@ let validate_remote t ~make_request ~cert_id ~issuer =
   | Some Vcache.Valid -> trace_verdict "cache" true
   | Some Vcache.Invalid -> trace_verdict "cache" false
   | None -> (
-      (* Datagram loss must not turn into a spurious denial: retry a bounded
-         number of times before giving up (the verdict itself is never
+      (* Datagram loss must not turn into a spurious denial: retry under the
+         shared backoff policy before giving up (the verdict itself is never
          retried — a 'false' answer is authoritative). *)
-      let rec attempt tries_left =
+      let attempt () =
         Obs.Counter.inc t.st.callbacks_out;
         match Network.rpc (World.network t.world) ~src:t.sid ~dst:issuer (make_request ()) with
-        | reply -> reply
-        | exception Network.Rpc_dropped ->
-            if tries_left > 0 then attempt (tries_left - 1) else raise Network.Rpc_dropped
+        | reply -> Ok reply
+        | exception Network.Rpc_dropped -> Error ()
       in
-      match attempt t.config.validation_retries with
-      | Protocol.Validate_result ok ->
+      match
+        Backoff.retry t.config.retry (World.rng t.world) ~sleep:Proc.sleep
+          ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Counter.inc t.st.retries_validate)
+          attempt
+      with
+      | Ok (Protocol.Validate_result ok) ->
           if ok && t.config.cache_remote_validation then begin
             Vcache.cache_valid t.cache cert_id;
             if not (Ident.Tbl.mem t.cache_watched cert_id) then begin
               let watch =
-                watch_invalidation t ~issuer ~cert_id ~on_dead:(fun _reason ->
-                    Vcache.invalidate t.cache cert_id;
+                watch_invalidation t ~issuer ~cert_id ~on_dead:(fun cause ->
+                    (* Definitive revocation poisons the entry (permanent
+                       negative); mere silence only retires it — the verdict
+                       became unknown, not false. Under the legacy zero-grace
+                       configuration silence keeps its historical meaning. *)
+                    (match cause with
+                    | `Revoked _ -> Vcache.invalidate t.cache cert_id
+                    | `Silence ->
+                        if t.config.suspect_grace > 0.0 then Vcache.drop t.cache cert_id
+                        else Vcache.invalidate t.cache cert_id);
                     match Ident.Tbl.find_opt t.cache_watched cert_id with
                     | Some w ->
                         Ident.Tbl.remove t.cache_watched cert_id;
@@ -297,8 +592,10 @@ let validate_remote t ~make_request ~cert_id ~issuer =
             end
           end;
           trace_verdict "callback" ok
-      | _ -> trace_verdict "callback" false
-      | exception Network.Rpc_dropped -> trace_verdict "callback_lost" false)
+      | Ok _ -> trace_verdict "callback" false
+      | Error () ->
+          note_unreachable t issuer;
+          trace_verdict "callback_lost" false)
 
 (* Challenge-response against a claimed public key (Sect. 4.1). *)
 let challenge_key t ~dst ~key =
@@ -407,38 +704,8 @@ let solver_context t ~rmc_creds ~appt_creds =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Revocation and cascading deactivation (Fig. 5)                     *)
+(* Administrative revocation (Fig. 5)                                 *)
 (* ------------------------------------------------------------------ *)
-
-let announce_invalidation t record reason =
-  Broker.publish (World.broker t.world) (Cr.topic record)
-    (Protocol.Invalidated { issuer = t.sid; cert_id = record.Cr.cert_id; reason })
-
-let deactivate_rmc t (issued : issued_rmc) ~reason ~cascade =
-  match Cr.revoke t.crs issued.rmc.Rmc.id ~at:(World.now t.world) ~reason with
-  | None -> () (* already revoked *)
-  | Some record ->
-      Obs.Counter.inc t.st.revocations;
-      if cascade then Obs.Counter.inc t.st.cascade_deactivations;
-      if Obs.tracing t.obs then
-        Obs.event t.obs "svc.revoke"
-          ~labels:
-            [
-              ("service", t.sname);
-              ("cert", Ident.to_string issued.rmc.Rmc.id);
-              ("role", issued.rmc.Rmc.role);
-              ("cascade", if cascade then "true" else "false");
-              ("reason", reason);
-            ];
-      Log.debug (fun m ->
-          m "%s deactivates %s (%s): %s" t.sname (Ident.to_string issued.rmc.Rmc.id)
-            issued.rmc.Rmc.role reason);
-      (match issued.beats with Some e -> Heartbeat.stop_emitter e | None -> ());
-      List.iter (drop_watch t) issued.watches;
-      issued.watches <- [];
-      unindex_env_watches t issued;
-      issued.env_watch <- [];
-      announce_invalidation t record reason
 
 let revoke_appt t (ia : issued_appt) ~reason =
   match Cr.revoke t.crs ia.appt.Appointment.id ~at:(World.now t.world) ~reason with
@@ -494,21 +761,42 @@ let start_beats t record =
   | Change_events -> None
   | Heartbeats { period; _ } ->
       Some
-        (Heartbeat.start_emitter (World.broker t.world) (World.engine t.world)
+        (Heartbeat.start_emitter ~src:t.sid (World.broker t.world) (World.engine t.world)
            ~topic:(Cr.topic record) ~period
            ~beat:(Protocol.Beat { issuer = t.sid; cert_id = record.Cr.cert_id }))
+
+(* Time-dependent constraints change truth value spontaneously: schedule a
+   re-check at the earliest possible flip. One timer slot per constraint —
+   re-arming replaces the pending handle rather than growing the watch list
+   without bound. Also used by restart to rebuild timers. *)
+let arm_env_timer t (issued : issued_rmc) (name, args) =
+  match Env.next_change_time t.env name args with
+  | None -> ()
+  | Some at ->
+      let slot = ref None in
+      let rec arm at =
+        slot :=
+          Some
+            (Engine.schedule_at (World.engine t.world) ~at:(at +. 1e-9) (fun () ->
+                 slot := None;
+                 if Cr.is_valid issued.record then
+                   if not (Env.check t.env name args) then
+                     deactivate_rmc t issued ~cascade:true
+                       ~reason:(Printf.sprintf "constraint %s no longer holds" name)
+                   else
+                     match Env.next_change_time t.env name args with
+                     | Some at' -> arm at'
+                     | None -> ()))
+      in
+      arm at;
+      issued.watches <- Watch_timer slot :: issued.watches
 
 let monitor_membership t (issued : issued_rmc) (proof : Solve.proof) =
   let membership = proof.rule.membership in
   let watch_cred (cred : Solve.cred) =
-    let watch =
-      watch_invalidation t ~issuer:cred.issuer ~cert_id:cred.cred_id ~on_dead:(fun why ->
-          deactivate_rmc t issued ~cascade:true
-            ~reason:
-              (Printf.sprintf "supporting credential %s invalid: %s"
-                 (Ident.to_string cred.cred_id) why))
-    in
-    issued.watches <- watch :: issued.watches
+    let dep = { dep_issuer = cred.issuer; dep_cert = cred.cred_id; dep_watch = None } in
+    issued.deps <- dep :: issued.deps;
+    watch_dep t issued dep
   in
   List.iteri
     (fun i support ->
@@ -522,33 +810,10 @@ let monitor_membership t (issued : issued_rmc) (proof : Solve.proof) =
           watch_cred cred
       | Solve.By_appointment cred -> if List.nth membership i then watch_cred cred
       | Solve.By_env _ when not (List.nth membership i) -> ()
-      | Solve.By_env (name, args) -> (
-            issued.env_watch <- (name, args) :: issued.env_watch;
-            index_env_watch t issued (name, args);
-            (* Time-dependent constraints change truth value spontaneously:
-               schedule a re-check at the earliest possible flip. One timer
-               slot per constraint — re-arming replaces the pending handle
-               rather than growing the watch list without bound. *)
-            match Env.next_change_time t.env name args with
-            | None -> ()
-            | Some at ->
-                let slot = ref None in
-                let rec arm at =
-                  slot :=
-                    Some
-                      (Engine.schedule_at (World.engine t.world) ~at:(at +. 1e-9) (fun () ->
-                           slot := None;
-                           if Cr.is_valid issued.record then
-                             if not (Env.check t.env name args) then
-                               deactivate_rmc t issued ~cascade:true
-                                 ~reason:(Printf.sprintf "constraint %s no longer holds" name)
-                             else
-                               match Env.next_change_time t.env name args with
-                               | Some at' -> arm at'
-                               | None -> ()))
-                in
-                arm at;
-                issued.watches <- Watch_timer slot :: issued.watches))
+      | Solve.By_env (name, args) ->
+          issued.env_watch <- (name, args) :: issued.env_watch;
+          index_env_watch t issued (name, args);
+          arm_env_timer t issued (name, args))
     proof.support
 
 (* One env listener per service re-checks membership constraints whose
@@ -587,26 +852,122 @@ let trace_env_change t changed_name =
     Obs.event t.obs "env.change" ~labels:[ ("service", t.sname); ("pred", changed_name) ]
 
 let install_env_listener t =
+  (* A crashed node reacts to nothing: changes missed while down are caught
+     by the restart re-check (anti-entropy), not by live listeners. *)
   if t.config.index_env_watches then
     Env.on_change t.env (fun changed_name _args _change ->
-        trace_env_change t changed_name;
-        match Hashtbl.find_opt t.env_index changed_name with
-        | None -> ()
-        | Some watchers ->
-            (* Snapshot first: a failed re-check deactivates the RMC, which
-               removes it from the very table being traversed. *)
-            let snapshot = Ident.Tbl.fold (fun _ issued acc -> issued :: acc) watchers [] in
-            List.iter
-              (fun issued ->
-                if Cr.is_valid issued.record then recheck_env_watches t issued changed_name)
-              snapshot)
+        if not t.crashed then begin
+          trace_env_change t changed_name;
+          match Hashtbl.find_opt t.env_index changed_name with
+          | None -> ()
+          | Some watchers ->
+              (* Snapshot first: a failed re-check deactivates the RMC, which
+                 removes it from the very table being traversed. *)
+              let snapshot = Ident.Tbl.fold (fun _ issued acc -> issued :: acc) watchers [] in
+              List.iter
+                (fun issued ->
+                  if Cr.is_valid issued.record then recheck_env_watches t issued changed_name)
+                snapshot
+        end)
   else
     Env.on_change t.env (fun changed_name _args _change ->
-        trace_env_change t changed_name;
-        Ident.Tbl.iter
-          (fun _ issued ->
-            if Cr.is_valid issued.record then recheck_env_watches t issued changed_name)
-          t.rmcs)
+        if not t.crashed then begin
+          trace_env_change t changed_name;
+          Ident.Tbl.iter
+            (fun _ issued ->
+              if Cr.is_valid issued.record then recheck_env_watches t issued changed_name)
+            t.rmcs
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* Crash and restart (DESIGN.md §11)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Crash drops all in-flight, in-memory state: emitters, watches, monitors,
+   suspect timers, the validation cache and the reconciliation queue. What
+   survives is the durable part — credential records, issued certificates,
+   policy, and each role's dependency list — exactly what restart rebuilds
+   from. *)
+let crash_node t =
+  t.crashed <- true;
+  Ident.Tbl.iter
+    (fun _ issued ->
+      (match issued.beats with Some e -> Heartbeat.stop_emitter e | None -> ());
+      issued.beats <- None;
+      List.iter
+        (fun dep ->
+          match dep.dep_watch with
+          | Some w ->
+              dep.dep_watch <- None;
+              drop_watch t w
+          | None -> ())
+        issued.deps;
+      List.iter (drop_watch t) issued.watches;
+      issued.watches <- [];
+      cancel_suspect t issued)
+    t.rmcs;
+  Ident.Tbl.iter
+    (fun _ ia ->
+      (match ia.appt_beats with Some e -> Heartbeat.stop_emitter e | None -> ());
+      ia.appt_beats <- None)
+    t.appts;
+  Ident.Tbl.iter (fun _ watch -> drop_watch t watch) t.cache_watched;
+  Ident.Tbl.reset t.cache_watched;
+  Vcache.clear t.cache;
+  Queue.iter (fun issued -> issued.reconciling <- false) t.recon_queue;
+  Queue.clear t.recon_queue
+  (* Running reconcile workers notice [t.crashed] at their next step and
+     exit through the normal path, releasing their batch slots. *)
+
+(* Restart rebuilds the active-security machinery from durable records:
+   emitters resume for valid certificates, env constraints are re-checked
+   (changes missed while down deactivate now), own-issuer prerequisites are
+   verified locally, and every role resting on a remote credential becomes
+   suspect until anti-entropy reconciliation re-validates it — invalidations
+   announced while we were down were never delivered, so trusting the old
+   watch state would be fail-open. *)
+let restart_node t =
+  t.crashed <- false;
+  Ident.Tbl.iter
+    (fun _ ia ->
+      if Cr.is_valid ia.appt_record && ia.appt_beats = None then
+        ia.appt_beats <- start_beats t ia.appt_record)
+    t.appts;
+  (* Snapshot: the rebuild may deactivate records, mutating the table. *)
+  let live =
+    Ident.Tbl.fold (fun _ i acc -> if Cr.is_valid i.record then i :: acc else acc) t.rmcs []
+  in
+  List.iter
+    (fun issued ->
+      if Cr.is_valid issued.record then begin
+        if issued.beats = None then issued.beats <- start_beats t issued.record;
+        if
+          not
+            (List.for_all
+               (fun (name, args) ->
+                 match Env.check t.env name args with
+                 | ok -> ok
+                 | exception Env.Unknown_predicate _ -> false)
+               issued.env_watch)
+        then
+          deactivate_rmc t issued ~cascade:true
+            ~reason:"restart: membership constraint no longer holds"
+        else if
+          List.exists
+            (fun dep -> Ident.equal dep.dep_issuer t.sid && not (dep_locally_valid t dep))
+            issued.deps
+        then
+          deactivate_rmc t issued ~cascade:true ~reason:"restart: supporting credential revoked"
+        else begin
+          List.iter (fun c -> arm_env_timer t issued c) issued.env_watch;
+          List.iter
+            (fun dep -> if Option.is_none dep.dep_watch then watch_dep t issued dep)
+            issued.deps;
+          if List.exists (fun dep -> not (Ident.equal dep.dep_issuer t.sid)) issued.deps then
+            enter_suspect t issued ~why:"restart: remote credentials unverified"
+        end
+      end)
+    live
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                   *)
@@ -698,9 +1059,12 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
                 initial = proof.rule.initial;
                 session_key;
                 ir_principal = principal;
+                deps = [];
                 watches = [];
                 env_watch = [];
                 beats = start_beats t record;
+                suspect = None;
+                reconciling = false;
               }
             in
             Ident.Tbl.replace t.rmcs cert_id issued;
@@ -854,9 +1218,18 @@ let handle_rpc t ~src msg =
          "database lookup at some service"). Unknown predicates answer
          [false] to the remote — our own policy errors stay local. *)
       Protocol.Env_result (match Env.check t.env pred args with ok -> ok | exception Env.Unknown_predicate _ -> false)
+  | Protocol.Check_cr { cert_id } ->
+      (* Anti-entropy: answer point-blank from the credential store. Any
+         service can vouch for (or disown) the certificates it issued. *)
+      Protocol.Cr_status
+        {
+          valid =
+            (match Cr.find t.crs cert_id with Some record -> Cr.is_valid record | None -> false);
+        }
   | Protocol.Activate_ok _ | Protocol.Invoke_ok _ | Protocol.Appoint_ok _
   | Protocol.Deactivate_ok | Protocol.Validate_result _ | Protocol.Challenge_msg _
-  | Protocol.Challenge_response _ | Protocol.Env_result _ | Protocol.Denied _ ->
+  | Protocol.Challenge_response _ | Protocol.Env_result _ | Protocol.Cr_status _
+  | Protocol.Denied _ ->
       Protocol.Denied (Protocol.Bad_request "not a request")
 
 (* ------------------------------------------------------------------ *)
@@ -926,8 +1299,18 @@ let create world ~name ?(config = default_config) ?env ~policy () =
           revocations = counter "service.revocations";
           cascade_deactivations = counter "service.cascade_deactivations";
           env_rechecks = counter "service.env_rechecks";
+          suspects = counter "svc.suspect";
+          reconciled_reinstated =
+            Obs.counter obs "svc.reconciled" ~labels:(("outcome", "reinstated") :: labels);
+          reconciled_revoked =
+            Obs.counter obs "svc.reconciled" ~labels:(("outcome", "revoked") :: labels);
+          retries_validate = Obs.counter obs "rpc.retries" ~labels:[ ("site", "validate") ];
+          retries_reconcile = Obs.counter obs "rpc.retries" ~labels:[ ("site", "reconcile") ];
         };
       audit = [];
+      crashed = false;
+      recon_running = 0;
+      recon_queue = Queue.create ();
     }
   in
   install_policy t (Parser.parse_exn policy);
@@ -938,7 +1321,17 @@ let create world ~name ?(config = default_config) ?env ~policy () =
       on_oneway = (fun ~src:_ _msg -> ());
       on_rpc = (fun ~src msg -> handle_rpc t ~src msg);
     };
+  Oasis_sim.Fault.set_hooks (World.fault world) sid
+    ~on_crash:(fun () -> crash_node t)
+    ~on_restart:(fun () -> restart_node t);
   t
+
+(* Crash/restart are driven through the world's fault controller so network
+   down-state, the broker's partition filter and the service hooks stay in
+   lock-step; these are conveniences for tests and application code. *)
+let crash t = Oasis_sim.Fault.crash (World.fault t.world) t.sid
+let restart t = Oasis_sim.Fault.restart (World.fault t.world) t.sid
+let is_crashed t = t.crashed
 
 (* Registers [local_name] as a computed predicate answered by [at]'s
    environment over the network. Must be evaluated from within a simulated
@@ -977,6 +1370,16 @@ let active_roles_named t role =
       else None)
     (Cr.find_named t.crs ~issuer:t.sid ~name:role)
 
+let suspect_roles t =
+  Ident.Tbl.fold
+    (fun cert_id issued acc ->
+      if Option.is_some issued.suspect && Cr.is_valid issued.record then
+        (cert_id, issued.rmc.Rmc.role) :: acc
+      else acc)
+    t.rmcs []
+
+let suspect_count t = List.length (suspect_roles t)
+
 let env_watcher_count t predicate =
   match Hashtbl.find_opt t.env_index (Env.base_name predicate) with
   | Some watchers -> Ident.Tbl.length watchers
@@ -1003,6 +1406,9 @@ let stats t =
     revocations = Obs.Counter.value t.st.revocations;
     cascade_deactivations = Obs.Counter.value t.st.cascade_deactivations;
     env_rechecks = Obs.Counter.value t.st.env_rechecks;
+    suspects = Obs.Counter.value t.st.suspects;
+    reconciled_reinstated = Obs.Counter.value t.st.reconciled_reinstated;
+    reconciled_revoked = Obs.Counter.value t.st.reconciled_revoked;
     cache = Vcache.stats t.cache;
   }
 
@@ -1019,4 +1425,7 @@ let reset_stats t =
   Obs.Counter.reset t.st.revocations;
   Obs.Counter.reset t.st.cascade_deactivations;
   Obs.Counter.reset t.st.env_rechecks;
+  Obs.Counter.reset t.st.suspects;
+  Obs.Counter.reset t.st.reconciled_reinstated;
+  Obs.Counter.reset t.st.reconciled_revoked;
   Vcache.reset_stats t.cache

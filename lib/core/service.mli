@@ -27,9 +27,29 @@ type config = {
   cache_remote_validation : bool;
       (** cache positive callback verdicts, invalidated over the issuer's
           event channel (Sect. 4); default on *)
-  validation_retries : int;
-      (** extra attempts when a validation callback datagram is lost; a
-          negative verdict is never retried; default 2 *)
+  retry : Oasis_util.Backoff.policy;
+      (** the shared retry policy for RPC call sites (validation callbacks,
+          anti-entropy reconciliation) when a datagram is lost; a negative
+          verdict is never retried. Default [Backoff.fixed 3] — three
+          immediate attempts, byte-for-byte the historical fixed-count
+          retry; fault-tolerant deployments use a jittered exponential
+          policy whose [cap] is below [suspect_grace]. *)
+  suspect_grace : float;
+      (** how long a role whose failure detector fired (heartbeat silence,
+          validation-RPC unreachability) may stay active as {e suspect}
+          before fail-closed degradation deactivates it. Default [0.0]:
+          silence is treated as revocation immediately — the historical
+          behaviour. Positive values enable the suspect state machine and
+          anti-entropy reconciliation (DESIGN.md §11). *)
+  reconcile_batch : int;
+      (** at most this many suspect roles re-validate against their issuers
+          concurrently after a heal or restart; the rest queue. Bounds the
+          post-heal re-validation storm (experiment E12); default 8 *)
+  fail_open : bool;
+      (** deliberately broken ablation for the chaos harness's
+          test-of-the-test: on grace expiry the suspect role is kept active
+          instead of deactivated, violating the paper's membership
+          contract. Never enable outside that experiment; default off *)
   index_env_watches : bool;
       (** serve fact-change notifications from the reverse index (predicate
           base name → watching RMCs), so a change touches only the RMCs
@@ -129,6 +149,34 @@ val rotate_secret : t -> unit
 
 val current_epoch : t -> int
 
+(** {1 Faults} *)
+
+val crash : t -> unit
+(** Crashes this node through the world's fault controller
+    ({!Oasis_sim.Fault}): the network node goes down, emitters fall silent,
+    and all in-memory active-security state (watches, monitors, suspect
+    timers, validation cache, reconciliation queue) is dropped. Durable
+    state — credential records, issued certificates, policy, per-role
+    dependency lists — survives for {!restart} to rebuild from. *)
+
+val restart : t -> unit
+(** Rebuilds subscriptions, monitors and emitters from the durable
+    credential records. Environmental constraints are re-checked on the spot
+    (changes missed while down deactivate now); roles resting on remote
+    credentials become {e suspect} and are re-validated by anti-entropy
+    reconciliation — invalidations announced while down were never
+    delivered, so the stale watch state cannot be trusted. A no-op unless
+    crashed. *)
+
+val is_crashed : t -> bool
+
+val suspect_roles : t -> (Oasis_util.Ident.t * string) list
+(** [(cert_id, role)] for every active role currently in suspect state:
+    its failure detector fired but revocation is unconfirmed, and either
+    reconciliation or the grace timer will resolve it. *)
+
+val suspect_count : t -> int
+
 (** {1 Introspection} *)
 
 val is_valid_certificate : t -> Oasis_util.Ident.t -> bool
@@ -180,6 +228,11 @@ type stats = {
       (** RMCs whose membership constraints were re-examined because a fact
           changed; with indexing on this counts only watchers of the changed
           predicate *)
+  suspects : int;  (** roles that entered suspect state ([svc.suspect{service=..}]) *)
+  reconciled_reinstated : int;
+      (** suspect roles reconciliation re-validated and kept active *)
+  reconciled_revoked : int;
+      (** suspect roles reconciliation confirmed revoked and deactivated *)
   cache : Oasis_cert.Validation_cache.stats;
 }
 

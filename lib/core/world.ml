@@ -18,6 +18,7 @@ type t = {
   obs : Obs.t;
   network : Protocol.msg Network.t;
   broker : Protocol.event Broker.t;
+  fault : Protocol.msg Oasis_sim.Fault.t;
   monitoring : monitoring;
   names : (string, Ident.t) Hashtbl.t;
   ids : string Ident.Tbl.t;
@@ -39,12 +40,18 @@ let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_laten
       ~size_of:Protocol.size_of ~obs ()
   in
   let broker = Broker.create engine (Rng.split rng) ~notify_latency ~obs () in
+  let fault = Oasis_sim.Fault.create network in
+  (* Partitions sever event channels exactly as they sever the network:
+     publishes that name their source are filtered against the fault map. *)
+  Broker.set_filter broker
+    (Some (fun ~publisher ~owner -> Oasis_sim.Fault.is_cut fault publisher owner));
   {
     engine;
     rng;
     obs;
     network;
     broker;
+    fault;
     monitoring;
     names = Hashtbl.create 16;
     ids = Ident.Tbl.create 16;
@@ -59,6 +66,7 @@ let rng t = t.rng
 let obs t = t.obs
 let network t = t.network
 let broker t = t.broker
+let fault t = t.fault
 let monitoring t = t.monitoring
 let now t = Engine.now t.engine
 

@@ -38,6 +38,12 @@ val rng : t -> Oasis_util.Rng.t
 val obs : t -> Oasis_obs.Obs.t
 val network : t -> Protocol.msg Oasis_sim.Network.t
 val broker : t -> Protocol.event Oasis_event.Broker.t
+
+val fault : t -> Protocol.msg Oasis_sim.Fault.t
+(** The world's fault controller. Named partitions installed here cut both
+    the network and (via the broker's delivery filter) event channels;
+    services register crash/restart hooks with it at creation. *)
+
 val monitoring : t -> monitoring
 val now : t -> float
 

@@ -133,6 +133,13 @@ let router_handler t =
       (fun ~src:_ msg ->
         match msg with
         | Protocol.Validate_appt _ | Protocol.Validate_rmc _ -> route t msg
+        | Protocol.Check_cr { cert_id } ->
+            (* Anti-entropy status check: answered from the authoritative
+               store. With the primary down the truth is unreachable, so the
+               handler fails the RPC — "could not determine" must never read
+               as "revoked". *)
+            if primary_down t then raise Primary_unavailable
+            else Protocol.Cr_status { valid = primary_view t cert_id }
         | _ -> Protocol.Denied (Protocol.Bad_request "CIV router only validates"));
   }
 
@@ -216,7 +223,7 @@ let revoke t cert_id ~reason =
             Heartbeat.stop_emitter emitter;
             Ident.Tbl.remove t.beats cert_id
         | None -> ());
-        Broker.publish (World.broker t.world) (Cr.topic record)
+        Broker.publish ~src:t.router (World.broker t.world) (Cr.topic record)
           (Protocol.Invalidated { issuer = t.router; cert_id; reason });
         replicate t cert_id false;
         true
@@ -238,7 +245,7 @@ let issue t ~kind ~args ~holder ~holder_key ?expires_at () =
   | World.Change_events -> ()
   | World.Heartbeats { period; _ } ->
       Ident.Tbl.replace t.beats cert_id
-        (Heartbeat.start_emitter (World.broker t.world) (World.engine t.world)
+        (Heartbeat.start_emitter ~src:t.router (World.broker t.world) (World.engine t.world)
            ~topic:(Cr.topic record) ~period
            ~beat:(Protocol.Beat { issuer = t.router; cert_id })));
   replicate t cert_id true;

@@ -25,9 +25,14 @@ type 'a t = {
   jitter : float;
   subs : (topic, 'a sub list ref) Hashtbl.t;
   mutable next_id : int;
+  (* Delivery filter consulted when a publish carries a source ident; the
+     world wires this to [Fault.is_cut] so named partitions sever event
+     channels exactly as they sever the network. *)
+  mutable filter : (publisher:Ident.t -> owner:Ident.t -> bool) option;
   c_published : Obs.Counter.t;
   c_notified : Obs.Counter.t;
   c_suppressed : Obs.Counter.t;
+  c_suppressed_part : Obs.Counter.t;
 }
 
 let create engine rng ~notify_latency ?(jitter = 0.0) ?obs () =
@@ -44,9 +49,11 @@ let create engine rng ~notify_latency ?(jitter = 0.0) ?obs () =
     jitter;
     subs = Hashtbl.create 64;
     next_id = 0;
+    filter = None;
     c_published = Obs.counter obs "broker.published";
     c_notified = Obs.counter obs "broker.notified";
     c_suppressed = Obs.counter obs "broker.suppressed" ~labels:[ ("cause", "unsubscribed") ];
+    c_suppressed_part = Obs.counter obs "broker.suppressed" ~labels:[ ("cause", "partitioned") ];
   }
 
 let obs t = t.obs
@@ -75,7 +82,16 @@ let unsubscribe _t subscription = subscription.unsub ()
 
 let delay t = t.latency +. (if t.jitter > 0.0 then Rng.float t.rng t.jitter else 0.0)
 
-let publish t topic payload =
+let set_filter t filter = t.filter <- filter
+
+(* Whether delivery from [src] to [sub] is severed right now. Publishes
+   without a source ident predate fault injection and are never filtered. *)
+let cut t src sub =
+  match (src, t.filter) with
+  | Some src, Some f -> f ~publisher:src ~owner:sub.owner
+  | _ -> false
+
+let publish ?src t topic payload =
   Obs.Counter.inc t.c_published;
   if Obs.tracing t.obs then Obs.event t.obs "broker.publish" ~labels:[ ("topic", topic) ];
   match Hashtbl.find_opt t.subs topic with
@@ -88,18 +104,31 @@ let publish t topic payload =
         (fun sub ->
           ignore
             (Engine.schedule t.engine ~after:(delay t) (fun () ->
-                 if sub.active then begin
+                 if not sub.active then
+                   (* The subscriber unsubscribed while this notification was
+                      in flight. Account for it so published × subscribers =
+                      notified + suppressed always holds. *)
+                   Obs.Counter.inc t.c_suppressed
+                 else if cut t src sub then begin
+                   (* Partitioned at delivery time: the channel is severed,
+                      the notification is lost like a network message. *)
+                   Obs.Counter.inc t.c_suppressed_part;
+                   if Obs.tracing t.obs then
+                     Obs.event t.obs "broker.suppress"
+                       ~labels:
+                         [
+                           ("cause", "partitioned");
+                           ("topic", topic);
+                           ("owner", Ident.to_string sub.owner);
+                         ]
+                 end
+                 else begin
                    Obs.Counter.inc t.c_notified;
                    if Obs.tracing t.obs then
                      Obs.event t.obs "broker.notify"
                        ~labels:[ ("topic", topic); ("owner", Ident.to_string sub.owner) ];
                    sub.callback sub.sub_topic payload
-                 end
-                 else
-                   (* The subscriber unsubscribed while this notification was
-                      in flight. Account for it so published × subscribers =
-                      notified + suppressed always holds. *)
-                   Obs.Counter.inc t.c_suppressed)))
+                 end)))
         snapshot
 
 let subscriber_count t topic =
@@ -109,10 +138,17 @@ let stats t =
   {
     published = Obs.Counter.value t.c_published;
     notified = Obs.Counter.value t.c_notified;
-    suppressed = Obs.Counter.value t.c_suppressed;
+    suppressed = Obs.Counter.value t.c_suppressed + Obs.Counter.value t.c_suppressed_part;
   }
+
+let suppressed_by_cause t =
+  [
+    ("unsubscribed", Obs.Counter.value t.c_suppressed);
+    ("partitioned", Obs.Counter.value t.c_suppressed_part);
+  ]
 
 let reset_stats t =
   Obs.Counter.reset t.c_published;
   Obs.Counter.reset t.c_notified;
-  Obs.Counter.reset t.c_suppressed
+  Obs.Counter.reset t.c_suppressed;
+  Obs.Counter.reset t.c_suppressed_part

@@ -46,18 +46,35 @@ val unsubscribe : 'a t -> subscription -> unit
     notification is accounted for: for each publish,
     subscribers-at-publish-time = notified + suppressed. *)
 
-val publish : 'a t -> topic -> 'a -> unit
+val publish : ?src:Oasis_util.Ident.t -> 'a t -> topic -> 'a -> unit
 (** Callable from any context. Delivery order to distinct subscribers of one
     publish follows subscription order; distinct publishes to one subscriber
-    arrive in publish order (FIFO per link latency). *)
+    arrive in publish order (FIFO per link latency). [src] names the
+    publishing node; when given, deliveries are subject to the partition
+    filter ({!set_filter}) — publishes without a source are never
+    filtered. *)
+
+val set_filter : 'a t -> (publisher:Oasis_util.Ident.t -> owner:Oasis_util.Ident.t -> bool) option -> unit
+(** Installs a delivery filter, consulted at delivery time for publishes
+    that carry a [src]: [true] means the channel from publisher to
+    subscriber owner is severed and the notification is suppressed (counted
+    under [broker.suppressed{cause=partitioned}]). The world wires this to
+    [Fault.is_cut] so partitions cut event channels alongside the
+    network. *)
 
 val subscriber_count : 'a t -> topic -> int
 
 type stats = {
   published : int;  (** publish calls *)
   notified : int;  (** subscriber callbacks actually run *)
-  suppressed : int;  (** deliveries cancelled by an in-flight unsubscribe *)
+  suppressed : int;  (** in-flight unsubscribes + partition suppressions *)
 }
 
 val stats : 'a t -> stats
+
+val suppressed_by_cause : 'a t -> (string * int) list
+(** Per-cause suppression counts ([unsubscribed], [partitioned]); the
+    registry keys are [broker.suppressed{cause=...}]. [stats.suppressed] is
+    their sum. *)
+
 val reset_stats : 'a t -> unit

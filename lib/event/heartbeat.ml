@@ -3,14 +3,14 @@ module Obs = Oasis_obs.Obs
 
 type emitter = { mutable running : bool; mutable beats : int }
 
-let start_emitter broker engine ~topic ~period ~beat =
+let start_emitter ?src broker engine ~topic ~period ~beat =
   let emitter = { running = true; beats = 0 } in
   let c_beats = Obs.counter (Broker.obs broker) "hb.beats" in
   Engine.every engine ~period (fun () ->
       if emitter.running then begin
         emitter.beats <- emitter.beats + 1;
         Obs.Counter.inc c_beats;
-        Broker.publish broker topic beat
+        Broker.publish ?src broker topic beat
       end;
       emitter.running);
   emitter
@@ -27,9 +27,16 @@ type monitor = {
   mutable cancel_pending : unit -> unit;
 }
 
-let watch ?(accept = fun _ -> true) broker engine ~topic ~deadline ~on_miss =
+(* Fresh default owner per monitor: sharing one ident across monitors made
+   every owner-scoped broker operation (partition filtering, per-owner
+   accounting) collide between unrelated watches. *)
+let monitor_idents = Oasis_util.Ident.generator "hb-monitor"
+
+let watch ?(accept = fun _ -> true) ?owner broker engine ~topic ~deadline ~on_miss =
   if deadline <= 0.0 then invalid_arg "Heartbeat.watch: deadline must be positive";
-  let owner = Oasis_util.Ident.make "hb-monitor" 0 in
+  let owner =
+    match owner with Some o -> o | None -> Oasis_util.Ident.fresh monitor_idents
+  in
   let m =
     {
       alive = true;

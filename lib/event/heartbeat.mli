@@ -10,9 +10,17 @@
 type emitter
 
 val start_emitter :
-  'a Broker.t -> Oasis_sim.Engine.t -> topic:Broker.topic -> period:float -> beat:'a -> emitter
+  ?src:Oasis_util.Ident.t ->
+  'a Broker.t ->
+  Oasis_sim.Engine.t ->
+  topic:Broker.topic ->
+  period:float ->
+  beat:'a ->
+  emitter
 (** Publishes [beat] on [topic] every [period] until {!stop_emitter}. The
-    first beat fires one period after the start. *)
+    first beat fires one period after the start. [src] names the emitting
+    node so beats are subject to the broker's partition filter; without it
+    beats pass through partitions (legacy behaviour). *)
 
 val stop_emitter : emitter -> unit
 (** Stopping models the issuer withdrawing the credential: beats cease and
@@ -24,6 +32,7 @@ type monitor
 
 val watch :
   ?accept:('a -> bool) ->
+  ?owner:Oasis_util.Ident.t ->
   'a Broker.t ->
   Oasis_sim.Engine.t ->
   topic:Broker.topic ->
@@ -33,7 +42,10 @@ val watch :
 (** Calls [on_miss] once if no beat arrives on [topic] for [deadline]
     virtual seconds (measured from the start of the watch, then from each
     beat). After a miss the monitor stops. [accept] filters which payloads
-    count as beats (default: all) — channels may carry other event kinds. *)
+    count as beats (default: all) — channels may carry other event kinds.
+    [owner] identifies the watching node for owner-scoped broker operations
+    (partition filtering); each monitor defaults to its own fresh ident, so
+    concurrent monitors never collide. *)
 
 val cancel_watch : monitor -> unit
 (** Stops the monitor without firing [on_miss]. Idempotent. *)

@@ -7,6 +7,7 @@ module Env = Oasis_policy.Env
 module Value = Oasis_util.Value
 module Ident = Oasis_util.Ident
 module Obs = Oasis_obs.Obs
+module Fault = Oasis_sim.Fault
 
 type outcome = {
   log : string list;
@@ -33,6 +34,9 @@ type state = {
   mutable civ : Civ.t option;
   sink : Obs.sink option;
   mutable seed : int;
+  mutable svc_config : Service.config option;
+      (* config overrides (suspect-grace …) applied to services created
+         after the directive; [None] keeps [Service.default_config] *)
   services : (string, Service.t) Hashtbl.t;
   principals : (string, Principal.t) Hashtbl.t;
   sessions : (string, Principal.t * Principal.session) Hashtbl.t;
@@ -47,6 +51,7 @@ let fresh_state ?sink () =
     civ = None;
     sink;
     seed = 1;
+    svc_config = None;
     services = Hashtbl.create 8;
     principals = Hashtbl.create 8;
     sessions = Hashtbl.create 8;
@@ -326,6 +331,41 @@ let exec_fact st line assertp words =
       say st "%s %s at %s" (if assertp then "asserted" else "retracted") call svc_name
   | _ -> fail line "fact|retract SERVICE PRED(args)"
 
+let resolve_node st line name =
+  match World.resolve (world st line) name with
+  | Some id -> id
+  | None -> fail line "unknown service %s" name
+
+let parse_group st line s =
+  match
+    String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+  with
+  | [] -> fail line "empty partition side"
+  | names -> List.map (resolve_node st line) names
+
+let exec_fault st line words =
+  let fault = World.fault (world st line) in
+  match words with
+  | [ "partition"; name; groups ] -> (
+      match String.split_on_char '|' groups with
+      | [ left; right ] -> (
+          let left = parse_group st line left and right = parse_group st line right in
+          match Fault.partition fault ~name left right with
+          | () -> say st "partition %s installed: %s" name groups
+          | exception Invalid_argument m -> fail line "%s" m)
+      | _ -> fail line "fault partition NAME A,B|C,D")
+  | [ "heal"; name ] -> (
+      match Fault.heal fault name with
+      | () -> say st "partition %s healed" name
+      | exception Invalid_argument m -> fail line "%s" m)
+  | [ "crash"; node ] ->
+      Fault.crash fault (resolve_node st line node);
+      say st "crashed %s" node
+  | [ "restart"; node ] ->
+      Fault.restart fault (resolve_node st line node);
+      say st "restarted %s" node
+  | _ -> fail line "fault partition NAME A|B, fault heal NAME, fault crash|restart SERVICE"
+
 let show st line svc_name =
   let svc = find st.services line "service" svc_name in
   let stats = Service.stats svc in
@@ -452,7 +492,7 @@ let run_lines ?sink lines =
               | None -> fail line "unterminated service block for %s" name
               | Some (policy, rest) ->
                   let w = world st line in
-                  (match Service.create w ~name ~policy () with
+                  (match Service.create w ~name ?config:st.svc_config ~policy () with
                   | svc ->
                       Hashtbl.replace st.services name svc;
                       say st "service %s installed" name
@@ -492,6 +532,16 @@ let run_lines ?sink lines =
               step rest
           | "revoke" :: tail ->
               exec_revoke st line tail;
+              step rest
+          | [ "suspect-grace"; f ] ->
+              (match float_of_string_opt f with
+              | Some g when g >= 0.0 ->
+                  let base = Option.value st.svc_config ~default:Service.default_config in
+                  st.svc_config <- Some { base with suspect_grace = g }
+              | _ -> fail line "bad grace %s" f);
+              step rest
+          | "fault" :: tail ->
+              exec_fault st line tail;
               step rest
           | "fact" :: tail ->
               exec_fact st line true tail;

@@ -36,6 +36,12 @@
     show hospital
     logout alice s
     run-until 1000.0
+
+    suspect-grace 5.0           # config for services created after it
+    fault partition wan hospital|civ   # sides are comma-separated services
+    fault heal wan
+    fault crash hospital
+    fault restart hospital
     v}
 
     [expect-metric KEY OP VALUE] checks a rendered registry key (see
@@ -43,6 +49,17 @@
     < >]; failures land in [outcome.failures] like any other expectation.
     [trace NOTE...] emits a [scenario.mark] event so exported timelines can
     be segmented by scenario position.
+
+    Fault directives (DESIGN.md §11) drive the world's {!Oasis_sim.Fault}
+    controller: [fault partition NAME A|B] cuts every pair across the two
+    comma-separated service groups (RPCs and event channels both), [fault
+    heal NAME] removes it, and [fault crash]/[fault restart] take a service
+    down (dropping its in-memory monitoring state) and rebuild it from
+    durable credential records. [suspect-grace F] configures services
+    created {e after} it to keep failure-detected roles active-but-suspect
+    for [F] virtual seconds of anti-entropy reconciliation before
+    fail-closed deactivation ([0] — the default — deactivates
+    immediately).
 
     Argument tokens inside parentheses: a declared principal name denotes
     its identity; integers, floats (times), ["strings"], [true]/[false] are

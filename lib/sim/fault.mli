@@ -1,0 +1,63 @@
+(** Deterministic fault injection on the virtual clock.
+
+    Three failure shapes, all replayable from a seed because they run on the
+    simulation engine rather than wall time:
+
+    - {b named partitions} — bidirectional link cuts between two node sets,
+      installed with {!partition} and removed with {!heal}. Overlapping
+      partitions compose (the underlying {!Network} blocks are refcounted).
+    - {b crash} — the node goes down ({!Network.set_down}) and its
+      registered [on_crash] hook runs, dropping in-flight state and
+      silencing emitters.
+    - {b restart} — the node comes back up and its [on_restart] hook
+      rebuilds subscriptions and monitors from durable credential records.
+
+    The controller lives in the sim layer, so it only knows node idents; the
+    layers above register per-node hooks ({!set_hooks}) and consult
+    {!is_cut} to make non-network channels (the event broker) honour the
+    same partitions. Partition installs are counted as [net.partitioned] in
+    the registry. *)
+
+type 'msg t
+
+val create : 'msg Network.t -> 'msg t
+
+val partition :
+  'msg t -> name:string -> Oasis_util.Ident.t list -> Oasis_util.Ident.t list -> unit
+(** [partition t ~name left right] cuts every (left, right) pair in both
+    directions. Raises [Invalid_argument] if [name] is already active. Nodes
+    appearing on both sides are not cut from themselves. *)
+
+val heal : 'msg t -> string -> unit
+(** Removes the named partition. Raises [Invalid_argument] on an unknown
+    name — a typo in a scenario must surface loudly. *)
+
+val heal_all : 'msg t -> unit
+
+val active_partitions : 'msg t -> string list
+(** Names of partitions currently installed, in no particular order. *)
+
+val is_cut : 'msg t -> Oasis_util.Ident.t -> Oasis_util.Ident.t -> bool
+(** Whether traffic from the first node to the second is currently severed —
+    by a partition, or because either endpoint was {!crash}ed. The event
+    broker consults this so partitions cut notification channels too. A
+    plain [Network.set_down] does not register here: the legacy lossy-link
+    experiments keep their network-only semantics. *)
+
+val set_hooks :
+  'msg t -> Oasis_util.Ident.t -> on_crash:(unit -> unit) -> on_restart:(unit -> unit) -> unit
+(** Registers crash/restart behaviour for a node. Re-registering replaces
+    the hooks (a service decommissioned and re-created under the same
+    ident). *)
+
+val clear_hooks : 'msg t -> Oasis_util.Ident.t -> unit
+
+val crash : 'msg t -> Oasis_util.Ident.t -> unit
+(** Takes the node down, then runs its [on_crash] hook (if any). Idempotent
+    while crashed. *)
+
+val restart : 'msg t -> Oasis_util.Ident.t -> unit
+(** Brings the node up, then runs its [on_restart] hook (if any). A no-op
+    unless the node was crashed by {!crash}. *)
+
+val is_crashed : 'msg t -> Oasis_util.Ident.t -> bool

@@ -18,6 +18,7 @@ type stats = { sent : int; delivered : int; dropped : int; rpcs : int; bytes_sen
 type drop_counters = {
   src_down : Obs.Counter.t;
   dst_missing : Obs.Counter.t;
+  partitioned : Obs.Counter.t;
   link_loss : Obs.Counter.t;
   in_flight_down : Obs.Counter.t;
   handler_error : Obs.Counter.t;
@@ -29,6 +30,10 @@ type 'msg t = {
   obs : Obs.t;
   nodes : 'msg node Ident.Tbl.t;
   links : (Ident.t * Ident.t, link) Hashtbl.t;
+  (* Directed pairs severed by named partitions (Fault). Refcounted so
+     overlapping partitions compose: a pair stays cut until every partition
+     naming it has healed. *)
+  blocked : (Ident.t * Ident.t, int) Hashtbl.t;
   default : link;
   size_of : 'msg -> int;
   mutable tracer : (src:Ident.t -> dst:Ident.t -> 'msg -> unit) option;
@@ -54,6 +59,7 @@ let create engine rng ~default_latency ?(default_jitter = 0.0) ?(size_of = fun _
     obs;
     nodes = Ident.Tbl.create 64;
     links = Hashtbl.create 64;
+    blocked = Hashtbl.create 16;
     default = { latency = default_latency; jitter = default_jitter; loss = 0.0 };
     size_of;
     tracer = None;
@@ -65,6 +71,7 @@ let create engine rng ~default_latency ?(default_jitter = 0.0) ?(size_of = fun _
       {
         src_down = drop "src_down";
         dst_missing = drop "dst_missing";
+        partitioned = drop "partitioned";
         link_loss = drop "link_loss";
         in_flight_down = drop "in_flight_down";
         handler_error = drop "handler_error";
@@ -95,10 +102,24 @@ let set_link t src dst ~latency ?(jitter = 0.0) ?(loss = 0.0) () =
 let is_down t id =
   match Ident.Tbl.find_opt t.nodes id with Some node -> node.down | None -> true
 
+let has_node t id = Ident.Tbl.mem t.nodes id
+
 let set_down t id down =
   match Ident.Tbl.find_opt t.nodes id with
   | Some node -> node.down <- down
   | None -> invalid_arg (Printf.sprintf "Network.set_down: unknown node %s" (Ident.to_string id))
+
+let block_pair t src dst =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.blocked (src, dst)) in
+  Hashtbl.replace t.blocked (src, dst) (n + 1)
+
+let unblock_pair t src dst =
+  match Hashtbl.find_opt t.blocked (src, dst) with
+  | None -> ()
+  | Some n when n <= 1 -> Hashtbl.remove t.blocked (src, dst)
+  | Some n -> Hashtbl.replace t.blocked (src, dst) (n - 1)
+
+let pair_blocked t src dst = Hashtbl.mem t.blocked (src, dst)
 
 let link_for t src dst =
   match Hashtbl.find_opt t.links (src, dst) with Some l -> l | None -> t.default
@@ -124,6 +145,7 @@ let transmit t ~src ~dst ~msg ~k ~lost =
   let src_down = match Ident.Tbl.find_opt t.nodes src with Some n -> n.down | None -> false in
   if src_down then drop "src_down" t.drops.src_down
   else if not (Ident.Tbl.mem t.nodes dst) then drop "dst_missing" t.drops.dst_missing
+  else if pair_blocked t src dst then drop "partitioned" t.drops.partitioned
   else
     let link = link_for t src dst in
     if link.loss > 0.0 && Rng.bernoulli t.rng link.loss then drop "link_loss" t.drops.link_loss
@@ -190,8 +212,8 @@ let set_tracer t tracer = t.tracer <- tracer
 
 let dropped_total d =
   Obs.Counter.value d.src_down + Obs.Counter.value d.dst_missing
-  + Obs.Counter.value d.link_loss + Obs.Counter.value d.in_flight_down
-  + Obs.Counter.value d.handler_error
+  + Obs.Counter.value d.partitioned + Obs.Counter.value d.link_loss
+  + Obs.Counter.value d.in_flight_down + Obs.Counter.value d.handler_error
 
 let stats t =
   {
@@ -206,6 +228,7 @@ let dropped_by_cause t =
   [
     ("src_down", Obs.Counter.value t.drops.src_down);
     ("dst_missing", Obs.Counter.value t.drops.dst_missing);
+    ("partitioned", Obs.Counter.value t.drops.partitioned);
     ("link_loss", Obs.Counter.value t.drops.link_loss);
     ("in_flight_down", Obs.Counter.value t.drops.in_flight_down);
     ("handler_error", Obs.Counter.value t.drops.handler_error);
@@ -218,6 +241,7 @@ let reset_stats t =
   Obs.Counter.reset t.c_bytes;
   Obs.Counter.reset t.drops.src_down;
   Obs.Counter.reset t.drops.dst_missing;
+  Obs.Counter.reset t.drops.partitioned;
   Obs.Counter.reset t.drops.link_loss;
   Obs.Counter.reset t.drops.in_flight_down;
   Obs.Counter.reset t.drops.handler_error

@@ -59,6 +59,20 @@ val set_down : 'msg t -> Oasis_util.Ident.t -> bool -> unit
 val is_down : 'msg t -> Oasis_util.Ident.t -> bool
 (** [true] for down or unregistered nodes. *)
 
+val has_node : 'msg t -> Oasis_util.Ident.t -> bool
+
+val block_pair : 'msg t -> Oasis_util.Ident.t -> Oasis_util.Ident.t -> unit
+(** Severs the directed [src -> dst] pair: messages are dropped at the
+    sender (counted under the [partitioned] cause). Blocks are refcounted so
+    overlapping partitions compose; call {!unblock_pair} once per block.
+    {!Fault} installs these in both directions for named partitions. *)
+
+val unblock_pair : 'msg t -> Oasis_util.Ident.t -> Oasis_util.Ident.t -> unit
+(** Releases one block on the pair; a no-op when none is held. *)
+
+val pair_blocked : 'msg t -> Oasis_util.Ident.t -> Oasis_util.Ident.t -> bool
+(** Whether any block is currently held on the directed pair. *)
+
 val send : 'msg t -> src:Oasis_util.Ident.t -> dst:Oasis_util.Ident.t -> 'msg -> unit
 (** One-way send; delivery is scheduled after link latency. Sends to unknown
     nodes are dropped and counted. Callable from any context. *)
@@ -95,8 +109,8 @@ type stats = {
 val stats : 'msg t -> stats
 
 val dropped_by_cause : 'msg t -> (string * int) list
-(** Per-cause drop counts ([src_down], [dst_missing], [link_loss],
-    [in_flight_down], [handler_error]); the registry keys are
+(** Per-cause drop counts ([src_down], [dst_missing], [partitioned],
+    [link_loss], [in_flight_down], [handler_error]); the registry keys are
     [net.dropped{cause=...}]. [stats.dropped] is their sum. *)
 
 val reset_stats : 'msg t -> unit

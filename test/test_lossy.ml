@@ -9,7 +9,9 @@ module Network = Oasis_sim.Network
 let build ~retries ~loss ~seed =
   let world = World.create ~seed () in
   let issuer = Service.create world ~name:"issuer" ~policy:"initial base <- env:eq(1, 1);" () in
-  let config = { Service.default_config with validation_retries = retries } in
+  let config =
+    { Service.default_config with retry = Oasis_util.Backoff.fixed (retries + 1) }
+  in
   let relying =
     Service.create world ~name:"relying" ~config ~policy:"derived <- base@issuer;" ()
   in
