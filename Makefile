@@ -33,7 +33,7 @@ chaos: build
 # policies, smoke the trace pipeline, run the chaos harness, and smoke the
 # bench harness (single cheap iteration; also proves the JSON emitters run).
 check: build test lint trace-smoke chaos
-	dune exec bench/main.exe -- E9 E11 E12 --smoke
+	dune exec bench/main.exe -- E9 E11 E12 E13 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).
 bench:

@@ -980,6 +980,9 @@ let e12 () =
            fail-closed timer, so drain time measures the worker pool *)
         suspect_grace = 120.0;
         reconcile_batch = batch;
+        (* the exhausted validation callback is the failure detector under
+           measurement; offline verification would grant without the RPC *)
+        offline_verify = false;
       }
     in
     let relying =
@@ -1053,7 +1056,15 @@ let e12 () =
       Service.create world ~name:"issuer" ~policy:"initial base <- env:eq(1, 1);" ()
     in
     let config =
-      { Service.default_config with retry; suspect_grace = grace; reconcile_batch = 8 }
+      {
+        Service.default_config with
+        retry;
+        suspect_grace = grace;
+        reconcile_batch = 8;
+        (* revocation latency here is defined by the callback/heartbeat
+           machinery, not the offline tombstone channel *)
+        offline_verify = false;
+      }
     in
     let relying =
       Service.create world ~name:"relying" ~config ~policy:"derived <- *base@issuer;" ()
@@ -1125,11 +1136,158 @@ let e12 () =
   Printf.printf "\n  results written to BENCH_fault.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E13 — offline-verifiable signed credentials: RPCs and latency       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two workloads into BENCH_signed.json (DESIGN.md §12), each run with
+   offline verification on and off:
+
+   (a) the hospital shape: one CIV domain, principals holding employee and
+       qualification appointments log in and step up to doctor — the paper's
+       running example, two cross-domain credential checks per principal;
+
+   (b) a synthetic cross-domain storm: many relying services all gated on
+       appointments from one CIV, every principal activating at every
+       service — the validation traffic the paper says certificates should
+       absorb ("validation ... without reference to the issuing service").
+
+   Reported per mode: validation callbacks made by relying services, RPCs
+   served by the CIV cluster, local offline verifications, and virtual-time
+   activation latency. The claim under test: offline verification drives
+   the cross-domain validation RPC count to zero without costing latency
+   (signature checks are compute, not round trips). *)
+let e13 () =
+  header "E13 Signed credentials: zero-RPC validation vs callback validation";
+  let smoke = !smoke_mode in
+  let n_principals = if smoke then 4 else 40 in
+  let n_services = if smoke then 3 else 12 in
+
+  let hospital ~offline =
+    let world = World.create ~seed:13 () in
+    let civ = Civ.create world ~name:"civ" ~offline_sign:offline () in
+    let config = { Service.default_config with Service.offline_verify = offline } in
+    let hospital =
+      Service.create world ~name:"hospital" ~config
+        ~policy:
+          {|
+            initial logged_in(u) <- *appt:employee(u)@civ ;
+            doctor(u) <- *logged_in(u), *appt:qualified(u)@civ ;
+          |}
+        ()
+    in
+    let latency = ref 0.0 in
+    for i = 0 to n_principals - 1 do
+      let p = Principal.create world ~name:(Printf.sprintf "p%d" i) in
+      List.iter
+        (fun kind ->
+          let appt =
+            Civ.issue civ ~kind
+              ~args:[ Value.Id (Principal.id p) ]
+              ~holder:(Principal.id p) ~holder_key:(Principal.longterm_public p) ()
+          in
+          Principal.grant_appointment p appt)
+        [ "employee"; "qualified" ];
+      World.settle world;
+      let t0 = World.now world in
+      World.run_proc world (fun () ->
+          let s = Principal.start_session p in
+          ignore (ok (Principal.activate p s hospital ~role:"logged_in" ()));
+          ignore (ok (Principal.activate p s hospital ~role:"doctor" ())));
+      World.settle world;
+      latency := !latency +. (World.now world -. t0)
+    done;
+    let st = Service.stats hospital in
+    let civ_rpcs = Array.fold_left ( + ) 0 (Civ.stats civ).Civ.validations_served in
+    ( st.Service.callbacks_out,
+      civ_rpcs,
+      st.Service.offline_validations,
+      !latency /. float_of_int n_principals )
+  in
+
+  let storm ~offline =
+    let world = World.create ~seed:13 () in
+    let civ = Civ.create world ~name:"civ" ~offline_sign:offline () in
+    let config = { Service.default_config with Service.offline_verify = offline } in
+    let services =
+      Array.init n_services (fun i ->
+          Service.create world ~name:(Printf.sprintf "svc%d" i) ~config
+            ~policy:"initial member(u) <- *appt:badge(u)@civ ;" ())
+    in
+    let latency = ref 0.0 and activations = ref 0 in
+    for i = 0 to n_principals - 1 do
+      let p = Principal.create world ~name:(Printf.sprintf "p%d" i) in
+      let appt =
+        Civ.issue civ ~kind:"badge"
+          ~args:[ Value.Id (Principal.id p) ]
+          ~holder:(Principal.id p) ~holder_key:(Principal.longterm_public p) ()
+      in
+      Principal.grant_appointment p appt;
+      World.settle world;
+      let t0 = World.now world in
+      World.run_proc world (fun () ->
+          let s = Principal.start_session p in
+          Array.iter
+            (fun svc ->
+              incr activations;
+              ignore (ok (Principal.activate p s svc ~role:"member" ())))
+            services);
+      World.settle world;
+      latency := !latency +. (World.now world -. t0)
+    done;
+    let callbacks =
+      Array.fold_left (fun acc svc -> acc + (Service.stats svc).Service.callbacks_out) 0 services
+    in
+    let offline_checks =
+      Array.fold_left
+        (fun acc svc -> acc + (Service.stats svc).Service.offline_validations)
+        0 services
+    in
+    let civ_rpcs = Array.fold_left ( + ) 0 (Civ.stats civ).Civ.validations_served in
+    (callbacks, civ_rpcs, offline_checks, !latency /. float_of_int !activations)
+  in
+
+  Printf.printf "  %d principals; storm fan-out %d services\n\n" n_principals n_services;
+  Printf.printf "  %-10s %-8s | %13s | %9s | %14s | %12s\n" "scenario" "mode" "callbacks out"
+    "civ rpcs" "offline checks" "latency s";
+  let rows =
+    List.concat_map
+      (fun (scenario, run) ->
+        List.map
+          (fun offline ->
+            let callbacks, civ_rpcs, offline_checks, mean_latency = run ~offline in
+            let mode = if offline then "offline" else "legacy" in
+            Printf.printf "  %-10s %-8s | %13d | %9d | %14d | %12.4f\n" scenario mode callbacks
+              civ_rpcs offline_checks mean_latency;
+            if offline && callbacks > 0 then
+              failwith "E13: offline mode still made validation callbacks";
+            Printf.sprintf
+              "    { \"scenario\": %S, \"mode\": %S, \"validation_callbacks\": %d,\n\
+              \      \"civ_validation_rpcs\": %d, \"offline_validations\": %d,\n\
+              \      \"mean_activation_latency_s\": %.6f }"
+              scenario mode callbacks civ_rpcs offline_checks mean_latency)
+          [ false; true ])
+      [ ("hospital", hospital); ("storm", storm) ]
+  in
+  let out = open_out "BENCH_signed.json" in
+  Printf.fprintf out
+    "{\n\
+    \  \"benchmark\": \"signed_credentials\",\n\
+    \  \"generated_by\": \"dune exec bench/main.exe -- E13%s\",\n\
+    \  \"params\": { \"principals\": %d, \"storm_services\": %d, \"smoke\": %b },\n\
+    \  \"claim\": \"offline-verifiable signed credentials drive cross-domain validation RPCs to zero at no latency cost; freshness machinery is unchanged\",\n\
+    \  \"rows\": [\n%s\n  ]\n}\n"
+    (if smoke then " --smoke" else "")
+    n_principals n_services smoke
+    (String.concat ",\n" rows);
+  close_out out;
+  Printf.printf "\n  results written to BENCH_signed.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
-    ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12);
+    ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12); ("E13", e13);
   ]
 
 let () =

@@ -30,9 +30,11 @@ let protected_fields t =
     Wire.Fint t.epoch;
   ]
 
+let signing_bytes t = Wire.encode tag (protected_fields t)
+
 let sign ~master_secret t =
   let epoch_secret = Secret.rotate master_secret ~epoch:t.epoch in
-  Hmac.mac ~key:(Secret.to_key epoch_secret) (Wire.encode tag (protected_fields t))
+  Hmac.mac ~key:(Secret.to_key epoch_secret) (signing_bytes t)
 
 let issue ~master_secret ~epoch ~id ~issuer ~kind ~args ~holder ~issued_at ?expires_at () =
   let unsigned =

@@ -62,6 +62,11 @@ val of_parts :
 
 val expired : now:float -> t -> bool
 
+val signing_bytes : t -> string
+(** The canonical byte string every signature scheme (epoch-HMAC here,
+    {!Oasis_cert.Signed} offline signatures) covers: all protected fields
+    including the holder binding, expiry and epoch, in wire encoding. *)
+
 val with_holder : t -> string -> t
 (** Theft attempt: same certificate re-bound to a different holder, original
     signature. Must fail {!verify}. *)

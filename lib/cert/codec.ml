@@ -28,9 +28,21 @@ let read_tlv r =
   done;
   if !colon >= n then fail r.pos "missing length separator";
   let len =
-    match int_of_string_opt (String.sub r.src len_start (!colon - len_start)) with
-    | Some l when l >= 0 -> l
-    | Some _ | None -> fail len_start "malformed length"
+    (* Strict canonical decimal: digits only, no leading zeros. Anything
+       [int_of_string_opt] would also admit ("0x10", "+5", "1_0", "010")
+       gives one certificate several encodings, which a signature over the
+       canonical bytes must not allow. *)
+    let s = String.sub r.src len_start (!colon - len_start) in
+    let canonical =
+      String.length s > 0
+      && String.for_all (fun c -> c >= '0' && c <= '9') s
+      && (String.length s = 1 || s.[0] <> '0')
+    in
+    if not canonical then fail len_start "malformed length"
+    else
+      match int_of_string_opt s with
+      | Some l -> l
+      | None -> fail len_start "length out of range"
   in
   if !colon + 1 + len > n then fail !colon "payload truncated";
   let payload = String.sub r.src (!colon + 1) len in
@@ -43,16 +55,27 @@ let expect_tag r want =
   if tag <> want then fail at (Printf.sprintf "expected field %C, found %C" want tag);
   payload
 
+(* Every field decoder below enforces canonicity by re-encoding: a payload
+   is accepted only if it is byte-identical to how the encoder would write
+   the decoded value. decode ∘ encode is then the identity, and any
+   non-canonical re-encoding of a signed certificate is rejected before the
+   signature is even checked. *)
+
 let decode_ident at s =
   match Ident.of_string s with
-  | Some id -> id
-  | None -> fail at (Printf.sprintf "malformed identifier %S" s)
+  | Some id when String.equal (Ident.to_string id) s -> id
+  | Some _ | None -> fail at (Printf.sprintf "malformed identifier %S" s)
 
 let decode_float at s =
-  match float_of_string_opt s with Some f -> f | None -> fail at (Printf.sprintf "malformed float %S" s)
+  match float_of_string_opt s with
+  | Some f when Float.is_nan f -> fail at "NaN is not a valid certificate timestamp"
+  | Some f when String.equal (Printf.sprintf "%h" f) s -> f
+  | Some _ | None -> fail at (Printf.sprintf "malformed float %S" s)
 
 let decode_int at s =
-  match int_of_string_opt s with Some n -> n | None -> fail at (Printf.sprintf "malformed int %S" s)
+  match int_of_string_opt s with
+  | Some n when String.equal (string_of_int n) s -> n
+  | Some _ | None -> fail at (Printf.sprintf "malformed int %S" s)
 
 (* Values were encoded by {!Oasis_util.Value.encode}: a nested TLV stream. *)
 let decode_values at payload =
@@ -64,7 +87,11 @@ let decode_values at payload =
       match tag with
       | 'i' -> Value.Int (decode_int at body)
       | 's' -> Value.Str body
-      | 'b' -> Value.Bool (body = "1")
+      | 'b' -> (
+          match body with
+          | "1" -> Value.Bool true
+          | "0" -> Value.Bool false
+          | _ -> fail at (Printf.sprintf "malformed bool %S" body))
       | 't' -> Value.Time (decode_float at body)
       | 'd' -> Value.Id (decode_ident at body)
       | c -> fail at (Printf.sprintf "unknown value tag %C" c)
@@ -146,7 +173,11 @@ let appointment_of_string s =
       let holder = expect_tag r 'S' in
       let issued_at = decode_float r.pos (expect_tag r 'F') in
       let expiry_raw = decode_float r.pos (expect_tag r 'F') in
-      let expires_at = if Float.is_finite expiry_raw then Some expiry_raw else None in
+      (* Only +infinity (the encoder's spelling of None) means "never
+         expires"; NaN is already rejected in [decode_float], and
+         −infinity stays [Some] — a certificate expired since forever,
+         not one that never expires. *)
+      let expires_at = if expiry_raw = Float.infinity then None else Some expiry_raw in
       let epoch = decode_int r.pos (expect_tag r 'N') in
       let signature = decode_signature r.pos (expect_tag r 'S') in
       if r.pos <> String.length s then fail r.pos "trailing bytes after certificate";

@@ -25,8 +25,10 @@ let protected_fields ~principal_key t =
     Wire.Ffloat t.issued_at;
   ]
 
+let signing_bytes ~principal_key t = Wire.encode tag (protected_fields ~principal_key t)
+
 let sign ~secret ~principal_key t =
-  Hmac.mac ~key:(Secret.to_key secret) (Wire.encode tag (protected_fields ~principal_key t))
+  Hmac.mac ~key:(Secret.to_key secret) (signing_bytes ~principal_key t)
 
 let issue ~secret ~principal_key ~id ~issuer ~role ~args ~issued_at =
   let unsigned =

@@ -52,5 +52,10 @@ val with_args : t -> Oasis_util.Value.t list -> t
 val crr : t -> Oasis_util.Ident.t * Oasis_util.Ident.t
 (** The credential record reference: [(issuer, id)]. *)
 
+val signing_bytes : principal_key:string -> t -> string
+(** The canonical byte string every signature scheme (HMAC here,
+    {!Oasis_cert.Signed} offline signatures) covers: the protected fields
+    prefixed by the hidden principal binding, in wire encoding. *)
+
 val size_bytes : t -> int
 val pp : Format.formatter -> t -> unit

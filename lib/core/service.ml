@@ -19,6 +19,8 @@ module Cr = Oasis_cert.Credential_record
 module Vcache = Oasis_cert.Validation_cache
 module Secret = Oasis_crypto.Secret
 module Elgamal = Oasis_crypto.Elgamal
+module Schnorr = Oasis_crypto.Schnorr
+module Signed = Oasis_cert.Signed
 module Challenge = Oasis_crypto.Challenge
 module Obs = Oasis_obs.Obs
 
@@ -37,6 +39,7 @@ type config = {
   fail_open : bool;
   index_env_watches : bool;
   strict_install : bool;
+  offline_verify : bool;
 }
 
 let default_config =
@@ -53,6 +56,7 @@ let default_config =
     fail_open = false;
     index_env_watches = true;
     strict_install = true;
+    offline_verify = true;
   }
 
 type audit_entry = {
@@ -120,6 +124,7 @@ type counters = {
   appointments_denied : Obs.Counter.t;
   callbacks_in : Obs.Counter.t;
   callbacks_out : Obs.Counter.t;
+  offline_validations : Obs.Counter.t;
   validation_failures : Obs.Counter.t;
   revocations : Obs.Counter.t;
   cascade_deactivations : Obs.Counter.t;
@@ -140,6 +145,7 @@ type stats = {
   appointments_denied : int;
   callbacks_in : int;
   callbacks_out : int;
+  offline_validations : int;
   validation_failures : int;
   revocations : int;
   cascade_deactivations : int;
@@ -158,6 +164,8 @@ type t = {
   config : config;
   env : Env.t;
   secret : Secret.t;
+  signing : Schnorr.keypair option;  (* present iff offline_verify: this key is enrolled with the domain root *)
+  root_address : string;
   mutable epoch : int;
   activations : (string, Rule.activation Queue.t) Hashtbl.t;
   authorizations : (string, Rule.authorization Queue.t) Hashtbl.t;
@@ -213,12 +221,29 @@ let register_operation t privilege handler = Hashtbl.replace t.operations privil
 (* Credential validation                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Own certificates verify under whichever scheme this service issues:
+   packed Schnorr signatures when enrolled with the domain root, epoch-HMAC
+   otherwise. Either way the credential record store has the last word —
+   a perfectly signed but revoked certificate is dead. *)
 let verify_own_rmc t ~principal_key (rmc : Rmc.t) =
-  Rmc.verify ~secret:t.secret ~principal_key rmc
+  (match t.signing with
+  | Some kp -> (
+      match Schnorr.of_digest rmc.signature with
+      | Some sg -> Schnorr.verify ~public:kp.Schnorr.public (Rmc.signing_bytes ~principal_key rmc) sg
+      | None -> false)
+  | None -> Rmc.verify ~secret:t.secret ~principal_key rmc)
   && (match Cr.find t.crs rmc.id with Some record -> Cr.is_valid record | None -> false)
 
 let verify_own_appt t (appt : Appointment.t) =
-  Appointment.verify ~master_secret:t.secret ~current_epoch:t.epoch ~now:(World.now t.world) appt
+  let now = World.now t.world in
+  (match t.signing with
+  | Some kp ->
+      appt.epoch = t.epoch
+      && (not (Appointment.expired ~now appt))
+      && (match Schnorr.of_digest appt.signature with
+         | Some sg -> Schnorr.verify ~public:kp.Schnorr.public (Appointment.signing_bytes appt) sg
+         | None -> false)
+  | None -> Appointment.verify ~master_secret:t.secret ~current_epoch:t.epoch ~now appt)
   && (match Cr.find t.crs appt.id with Some record -> Cr.is_valid record | None -> false)
 
 (* Starts an invalidation watch for a remote certificate, used both for
@@ -231,7 +256,12 @@ let watch_invalidation t ~issuer ~cert_id ~on_dead =
   match World.monitoring t.world with
   | Change_events ->
       let sub =
-        Broker.subscribe (World.broker t.world) topic ~owner:t.sid (fun _topic event ->
+        (* Legacy validation RPCs precede every watch, so the watched
+           certificate is known live and no tombstone can exist. The offline
+           path installs watches without asking the issuer and must pick up
+           a retained Invalidated published before it subscribed. *)
+        Broker.subscribe ~replay_retained:t.config.offline_verify (World.broker t.world) topic
+          ~owner:t.sid (fun _topic event ->
             match event with
             | Protocol.Invalidated { reason; _ } -> on_dead (`Revoked reason)
             | Protocol.Beat _ | Protocol.Replicated _ -> ())
@@ -291,7 +321,9 @@ let unindex_env_watches t issued =
 (* ------------------------------------------------------------------ *)
 
 let announce_invalidation t record reason =
-  Broker.publish ~src:t.sid (World.broker t.world) (Cr.topic record)
+  (* Retained: a revocation is true forever, and offline verification needs
+     late dependency watches to find the tombstone on the channel. *)
+  Broker.publish ~src:t.sid ~retain:true (World.broker t.world) (Cr.topic record)
     (Protocol.Invalidated { issuer = t.sid; cert_id = record.Cr.cert_id; reason })
 
 let cancel_suspect t issued =
@@ -374,6 +406,12 @@ let rec watch_dep t issued dep =
   let watch =
     watch_invalidation t ~issuer:dep.dep_issuer ~cert_id:dep.dep_cert ~on_dead:(function
       | `Revoked why ->
+          (* Offline verification has no issuer round trip at presentation
+             time, so a definitive revocation learnt here must be remembered
+             locally: the poisoned cache entry makes a re-presented revoked
+             certificate fail the offline check. Gated on the flag so the
+             legacy path's cache statistics are untouched. *)
+          if t.config.offline_verify then Vcache.invalidate t.cache dep.dep_cert;
           deactivate_rmc t issued ~cascade:true
             ~reason:
               (Printf.sprintf "supporting credential %s invalid: %s"
@@ -615,17 +653,68 @@ let challenge_key t ~dst ~key =
    Invalid credentials are dropped (and counted): a wallet may legitimately
    contain certificates that have expired or been revoked. *)
 let validate_presented t ~src ~session_key (creds : Protocol.credentials) =
+  (* Zero-RPC verification (DESIGN.md §12): when the presenting issuer has
+     an enrolled key chain and this service trusts the domain root, the
+     signature is checked locally and no callback is made. A chain in hand
+     is authoritative for *authenticity*; freshness still comes from the
+     dep watches installed after the grant (and from the poisoned cache for
+     revocations this service has already witnessed). Issuers without a
+     chain — legacy HMAC signers — fall back to the callback RPC. *)
+  let offline_chain issuer =
+    if t.config.offline_verify then Signed.chain_for (World.authority t.world) issuer else None
+  in
+  (* The certificate's event channel retains its Invalidated notice, so a
+     verifier that never watched this certificate still sees the revocation
+     at presentation time — a push-based revocation list. A partition hides
+     the tombstone like it hides the live event; the heartbeat / suspect
+     machinery bounds that staleness as usual. *)
+  let revoked_on_channel ~issuer ~cert_id =
+    match
+      Broker.retained (World.broker t.world) (Cr.topic_of ~issuer ~cert_id) ~reader:t.sid
+    with
+    | Some (Protocol.Invalidated _) -> true
+    | Some _ | None -> false
+  in
+  let offline_verdict ~issuer cert_id verify =
+    Obs.Counter.inc t.st.offline_validations;
+    let ok =
+      Vcache.lookup t.cache cert_id <> Some Vcache.Invalid
+      && (not (revoked_on_channel ~issuer ~cert_id))
+      && verify ()
+    in
+    if Obs.tracing t.obs then
+      Obs.event t.obs "svc.validate"
+        ~labels:
+          [
+            ("service", t.sname);
+            ("cert", Ident.to_string cert_id);
+            ("source", "offline");
+            ("ok", if ok then "true" else "false");
+          ];
+    ok
+  in
   let rmc_ok (rmc : Rmc.t) =
     if Ident.equal rmc.issuer t.sid then verify_own_rmc t ~principal_key:session_key rmc
     else
-      validate_remote t ~cert_id:rmc.id ~issuer:rmc.issuer ~make_request:(fun () ->
-          Protocol.Validate_rmc { rmc; principal_key = session_key })
+      match offline_chain rmc.issuer with
+      | Some chain ->
+          offline_verdict ~issuer:rmc.issuer rmc.id (fun () ->
+              Signed.verify_rmc ~address:t.root_address ~chain ~principal_key:session_key rmc)
+      | None ->
+          validate_remote t ~cert_id:rmc.id ~issuer:rmc.issuer ~make_request:(fun () ->
+              Protocol.Validate_rmc { rmc; principal_key = session_key })
   in
   let appt_ok (appt : Appointment.t) =
     (if Ident.equal appt.issuer t.sid then verify_own_appt t appt
      else
-       validate_remote t ~cert_id:appt.id ~issuer:appt.issuer ~make_request:(fun () ->
-           Protocol.Validate_appt { appt }))
+       match offline_chain appt.issuer with
+       | Some chain ->
+           offline_verdict ~issuer:appt.issuer appt.id (fun () ->
+               Signed.verify_appointment ~address:t.root_address ~chain ~now:(World.now t.world)
+                 appt)
+       | None ->
+           validate_remote t ~cert_id:appt.id ~issuer:appt.issuer ~make_request:(fun () ->
+               Protocol.Validate_appt { appt }))
     && ((not t.config.challenge_appointment_holders)
        (* Prove possession of the long-lived holder key: defeats stolen
           appointment certificates (Sect. 4.1). *)
@@ -727,7 +816,17 @@ let revoke_certificate t cert_id ~reason =
       | Some ia -> revoke_appt t ia ~reason
       | None -> false)
 
-let rotate_secret t = t.epoch <- t.epoch + 1
+let rotate_secret t =
+  t.epoch <- t.epoch + 1;
+  (* Re-certify the issuing key under the new epoch: appointments of older
+     epochs then fail offline verification exactly as they fail the HMAC
+     scheme's current-epoch check, and must be re-issued. *)
+  match t.signing with
+  | Some kp ->
+      ignore
+        (Signed.enrol (World.authority t.world) ~subject:t.sid ~subject_pk:kp.Schnorr.public
+           ~key_epoch:t.epoch ~now:(World.now t.world))
+  | None -> ()
 
 let decommission t ~reason =
   (* Withdraw every credential this service ever issued; dependents
@@ -750,6 +849,10 @@ let decommission t ~reason =
   Ident.Tbl.iter (fun _ watch -> drop_watch t watch) t.cache_watched;
   Ident.Tbl.reset t.cache_watched;
   Vcache.clear t.cache;
+  (* Withdraw the issuing-key chain too: a decommissioned issuer's
+     certificates must stop verifying offline, not just stop answering
+     callbacks. *)
+  Signed.revoke_chain (World.authority t.world) t.sid;
   !count
 
 (* ------------------------------------------------------------------ *)
@@ -1045,8 +1148,15 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
             let cert_id = World.fresh_cert_id t.world in
             let now = World.now t.world in
             let rmc =
-              Rmc.issue ~secret:t.secret ~principal_key:session_key ~id:cert_id ~issuer:t.sid
-                ~role ~args:proof.role_args ~issued_at:now
+              match t.signing with
+              | Some keypair ->
+                  Signed.issue_rmc ~keypair
+                    ~rng:(Signed.rng (World.authority t.world))
+                    ~principal_key:session_key ~id:cert_id ~issuer:t.sid ~role
+                    ~args:proof.role_args ~issued_at:now
+              | None ->
+                  Rmc.issue ~secret:t.secret ~principal_key:session_key ~id:cert_id ~issuer:t.sid
+                    ~role ~args:proof.role_args ~issued_at:now
             in
             let record =
               Cr.add t.crs ~cert_id ~issuer:t.sid ~kind:Cr.Kind_rmc ~principal ~name:role
@@ -1163,8 +1273,15 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
             let cert_id = World.fresh_cert_id t.world in
             let now = World.now t.world in
             let appt =
-              Appointment.issue ~master_secret:t.secret ~epoch:t.epoch ~id:cert_id
-                ~issuer:t.sid ~kind ~args ~holder:holder_key ~issued_at:now ?expires_at ()
+              match t.signing with
+              | Some keypair ->
+                  Signed.issue_appointment ~keypair
+                    ~rng:(Signed.rng (World.authority t.world))
+                    ~epoch:t.epoch ~id:cert_id ~issuer:t.sid ~kind ~args ~holder:holder_key
+                    ~issued_at:now ?expires_at ()
+              | None ->
+                  Appointment.issue ~master_secret:t.secret ~epoch:t.epoch ~id:cert_id
+                    ~issuer:t.sid ~kind ~args ~holder:holder_key ~issued_at:now ?expires_at ()
             in
             let record =
               Cr.add t.crs ~cert_id ~issuer:t.sid ~kind:Cr.Kind_appointment ~principal:holder
@@ -1265,6 +1382,17 @@ let create world ~name ?(config = default_config) ?env ~policy () =
   let obs = World.obs world in
   let labels = [ ("service", name) ] in
   let counter cname = Obs.counter obs cname ~labels in
+  let authority = World.authority world in
+  let signing =
+    if config.offline_verify then begin
+      let kp = Signed.generate_keypair authority in
+      ignore
+        (Signed.enrol authority ~subject:sid ~subject_pk:kp.Schnorr.public ~key_epoch:0
+           ~now:(World.now world));
+      Some kp
+    end
+    else None
+  in
   let t =
     {
       world;
@@ -1274,6 +1402,8 @@ let create world ~name ?(config = default_config) ?env ~policy () =
       config;
       env;
       secret = Secret.generate (World.rng world);
+      signing;
+      root_address = Signed.address authority;
       epoch = 0;
       activations = Hashtbl.create 16;
       authorizations = Hashtbl.create 16;
@@ -1295,6 +1425,7 @@ let create world ~name ?(config = default_config) ?env ~policy () =
           appointments_denied = counter "service.appointments_denied";
           callbacks_in = counter "service.callbacks_in";
           callbacks_out = counter "service.callbacks_out";
+          offline_validations = counter "service.offline_validations";
           validation_failures = counter "service.validation_failures";
           revocations = counter "service.revocations";
           cascade_deactivations = counter "service.cascade_deactivations";
@@ -1402,6 +1533,7 @@ let stats t =
     appointments_denied = Obs.Counter.value t.st.appointments_denied;
     callbacks_in = Obs.Counter.value t.st.callbacks_in;
     callbacks_out = Obs.Counter.value t.st.callbacks_out;
+    offline_validations = Obs.Counter.value t.st.offline_validations;
     validation_failures = Obs.Counter.value t.st.validation_failures;
     revocations = Obs.Counter.value t.st.revocations;
     cascade_deactivations = Obs.Counter.value t.st.cascade_deactivations;
@@ -1421,6 +1553,7 @@ let reset_stats t =
   Obs.Counter.reset t.st.appointments_denied;
   Obs.Counter.reset t.st.callbacks_in;
   Obs.Counter.reset t.st.callbacks_out;
+  Obs.Counter.reset t.st.offline_validations;
   Obs.Counter.reset t.st.validation_failures;
   Obs.Counter.reset t.st.revocations;
   Obs.Counter.reset t.st.cascade_deactivations;

@@ -64,6 +64,18 @@ type config = {
           default on. Off preserves the historical behaviour where such
           rules install silently and every matching request is answered
           [Bad_request]. *)
+  offline_verify : bool;
+      (** issue Schnorr-signed credentials under a key certified by the
+          world's domain root, and verify presented credentials from
+          enrolled issuers locally — chain, signature, expiry, epoch — with
+          zero validation RPCs (DESIGN.md §12); default on. Presented
+          credentials whose issuer has no chain (a legacy HMAC signer, or a
+          decommissioned issuer) fall back to the validation callback.
+          Freshness is unchanged: dep watches, heartbeats and anti-entropy
+          reconciliation still bound revocation propagation, and
+          revocations witnessed over a watch poison the validation cache so
+          re-presenting a known-dead certificate is refused locally. Off
+          restores the historical HMAC + callback-per-check behaviour. *)
 }
 
 val default_config : config
@@ -221,6 +233,10 @@ type stats = {
   appointments_denied : int;
   callbacks_in : int;  (** validation requests answered as issuer *)
   callbacks_out : int;  (** validation requests made about remote certificates *)
+  offline_validations : int;
+      (** remote credentials checked locally against an issuer chain —
+          presentations that under the legacy path would each have been a
+          [callbacks_out] RPC *)
   validation_failures : int;  (** presented credentials dropped as invalid *)
   revocations : int;  (** credential records invalidated here *)
   cascade_deactivations : int;  (** revocations triggered by monitoring, not administration *)

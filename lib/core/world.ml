@@ -20,6 +20,7 @@ type t = {
   broker : Protocol.event Broker.t;
   fault : Protocol.msg Oasis_sim.Fault.t;
   monitoring : monitoring;
+  authority : Oasis_cert.Signed.authority;
   names : (string, Ident.t) Hashtbl.t;
   ids : string Ident.Tbl.t;
   cert_gen : Ident.gen;
@@ -41,6 +42,10 @@ let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_laten
   in
   let broker = Broker.create engine (Rng.split rng) ~notify_latency ~obs () in
   let fault = Oasis_sim.Fault.create network in
+  (* The domain root authority draws from its own stream derived from the
+     seed — not from [rng] — so adding signatures perturbs none of the
+     latency/secret draws existing seeds produce. *)
+  let authority = Oasis_cert.Signed.create_authority (Rng.create ((seed * 2654435761) lxor 0x0a515) ) in
   (* Partitions sever event channels exactly as they sever the network:
      publishes that name their source are filtered against the fault map. *)
   Broker.set_filter broker
@@ -53,6 +58,7 @@ let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_laten
     broker;
     fault;
     monitoring;
+    authority;
     names = Hashtbl.create 16;
     ids = Ident.Tbl.create 16;
     cert_gen = Ident.generator "cert";
@@ -68,6 +74,7 @@ let network t = t.network
 let broker t = t.broker
 let fault t = t.fault
 let monitoring t = t.monitoring
+let authority t = t.authority
 let now t = Engine.now t.engine
 
 let fresh_cert_id t = Ident.fresh t.cert_gen

@@ -45,6 +45,13 @@ val fault : t -> Protocol.msg Oasis_sim.Fault.t
     services register crash/restart hooks with it at creation. *)
 
 val monitoring : t -> monitoring
+
+val authority : t -> Oasis_cert.Signed.authority
+(** The world's domain root (DESIGN.md §12): certifies per-service issuing
+    keys so relying services can verify credentials offline. Stands in for
+    out-of-band root-address distribution; seeded independently of {!rng}
+    so signature support leaves existing deterministic runs untouched. *)
+
 val now : t -> float
 
 val fresh_cert_id : t -> Oasis_util.Ident.t

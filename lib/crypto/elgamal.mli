@@ -20,8 +20,18 @@ val encrypt : Oasis_util.Rng.t -> public -> int64 -> ciphertext
 
 val decrypt : private_key -> ciphertext -> int64
 
+val valid_public : public -> bool
+(** Partial public-key validation (SP 800-56A style): [2 <= y <= p - 2],
+    excluding the identity and the order-2 element — the two
+    subgroup-confinement points a bare range check would admit. Full
+    membership of the generator's subgroup is not cheaply decidable here;
+    DESIGN.md §12 records the residual gap. *)
+
 val public_to_string : public -> string
+
 val public_of_string : string -> public option
+(** Strict canonical decimal (no sign, hex, underscores or leading zeros)
+    and [valid_public]; every accepted key has exactly one encoding. *)
 
 val proves : private_key -> public -> bool
 (** [proves priv pub] — whether [priv] is the private key of [pub]; used by

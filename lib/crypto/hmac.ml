@@ -22,7 +22,7 @@ let mac ~key msg =
   Sha256.feed_string outer (Sha256.to_raw_string inner_digest);
   Sha256.finalize outer
 
-let verify ~key msg expected = Sha256.equal (mac ~key msg) expected
+let verify ~key msg expected = Sha256.equal_ct (mac ~key msg) expected
 
 let derive_key ~key label =
   Sha256.to_raw_string (mac ~key ("oasis-kdf\x00" ^ label))

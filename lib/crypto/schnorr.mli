@@ -1,0 +1,29 @@
+(** Schnorr signatures over GF(2^61 − 1): the offline-verifiable layer.
+
+    Sect. 4 certificates are "public-key certificates"; this module provides
+    the signature half so relying services can verify credentials with zero
+    network round trips (DESIGN.md §12). Same toy field caveat as {!Modp} —
+    genuine algorithm, 61-bit security parameter, recorded in DESIGN.md. *)
+
+type signature = { e : int64; s : int64 }
+(** A (challenge, response) pair; both scalars are in [\[0, p − 1)]. *)
+
+type keypair = { public : int64; secret : int64 }
+
+val generate : Oasis_util.Rng.t -> keypair
+(** Fresh keypair whose public key passes {!Elgamal.valid_public}. *)
+
+val sign : secret:int64 -> Oasis_util.Rng.t -> string -> signature
+
+val verify : public:int64 -> string -> signature -> bool
+(** Rejects out-of-range scalars and invalid public keys before the group
+    equation; verification uses public data only. *)
+
+val to_digest : signature -> Sha256.digest
+(** Packs [e ‖ s] (8-byte big-endian each) plus 16 zero bytes into the
+    32-byte signature field certificates already carry. *)
+
+val of_digest : Sha256.digest -> signature option
+(** Inverse of {!to_digest}; [None] if the pad is non-zero or either scalar
+    is out of range — which is where HMAC digests land, so scheme confusion
+    on the wire is rejected here. *)

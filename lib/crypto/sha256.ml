@@ -155,12 +155,16 @@ let to_hex d =
 
 let of_raw_string s = if String.length s = 32 then Some s else None
 
-let equal a b =
-  (* Constant time over the full 32 bytes. *)
+let equal_ct a b =
+  (* Constant time over the full 32 bytes: the accumulator folds every byte
+     pair regardless of where the first difference sits, so the running time
+     is independent of the digest contents. *)
   let acc = ref 0 in
   for i = 0 to 31 do
     acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
   done;
   !acc = 0
+
+let equal = equal_ct
 
 let pp ppf d = Format.pp_print_string ppf (to_hex d)

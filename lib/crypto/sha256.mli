@@ -30,7 +30,13 @@ val to_hex : digest -> string
 val of_raw_string : string -> digest option
 (** Re-wraps 32 raw bytes (e.g. parsed off the wire); [None] on wrong size. *)
 
+val equal_ct : digest -> digest -> bool
+(** Constant-time comparison: runs over all 32 bytes regardless of where the
+    first mismatch sits, so MAC checks leak no prefix-length timing signal.
+    This is the comparison every verifier (HMAC, signature pad checks) must
+    use on secret-derived digests. *)
+
 val equal : digest -> digest -> bool
-(** Constant-time comparison. *)
+(** Alias of {!equal_ct}; kept for callers that compare public digests. *)
 
 val pp : Format.formatter -> digest -> unit

@@ -6,7 +6,9 @@ module Broker = Oasis_event.Broker
 module Heartbeat = Oasis_event.Heartbeat
 module Appointment = Oasis_cert.Appointment
 module Cr = Oasis_cert.Credential_record
+module Signed = Oasis_cert.Signed
 module Secret = Oasis_crypto.Secret
+module Schnorr = Oasis_crypto.Schnorr
 module World = Oasis_core.World
 module Protocol = Oasis_core.Protocol
 module Obs = Oasis_obs.Obs
@@ -31,6 +33,7 @@ type t = {
   mode : replication;
   audit : Oasis_trust.Registrar.t;
   secret : Secret.t;
+  signing : Schnorr.keypair option;  (* present iff enrolled with the domain root *)
   mutable epoch : int;
   crs : Cr.store;
   replicas : replica array;
@@ -62,8 +65,16 @@ let primary_down t = Network.is_down (World.network t.world) (primary t).node
 (* ------------------------------------------------------------------ *)
 
 let signature_ok t appt =
-  Appointment.verify ~master_secret:t.secret ~current_epoch:t.epoch
-    ~now:(World.now t.world) appt
+  match t.signing with
+  | Some kp ->
+      appt.Appointment.epoch = t.epoch
+      && (not (Appointment.expired ~now:(World.now t.world) appt))
+      && (match Schnorr.of_digest appt.Appointment.signature with
+         | Some sg -> Schnorr.verify ~public:kp.Schnorr.public (Appointment.signing_bytes appt) sg
+         | None -> false)
+  | None ->
+      Appointment.verify ~master_secret:t.secret ~current_epoch:t.epoch
+        ~now:(World.now t.world) appt
 
 let primary_view t cert_id =
   match Cr.find t.crs cert_id with Some record -> Cr.is_valid record | None -> false
@@ -147,10 +158,21 @@ let router_handler t =
 (* Construction                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let create world ~name ?(replicas = 3) ?(replication = Async) () =
+let create world ~name ?(replicas = 3) ?(replication = Async) ?(offline_sign = true) () =
   if replicas < 1 then invalid_arg "Civ.create: need at least one replica";
   let router = World.fresh_service_id world in
   let counter cname = Obs.counter (World.obs world) cname ~labels:[ ("civ", name) ] in
+  let signing =
+    if offline_sign then begin
+      let authority = World.authority world in
+      let kp = Signed.generate_keypair authority in
+      ignore
+        (Signed.enrol authority ~subject:router ~subject_pk:kp.Schnorr.public ~key_epoch:0
+           ~now:(World.now world));
+      Some kp
+    end
+    else None
+  in
   let t =
     {
       world;
@@ -159,6 +181,7 @@ let create world ~name ?(replicas = 3) ?(replication = Async) () =
       mode = replication;
       audit = Oasis_trust.Registrar.create (Oasis_util.Rng.split (World.rng world)) ~name ();
       secret = Secret.generate (World.rng world);
+      signing;
       epoch = 0;
       crs = Cr.create_store ();
       replicas =
@@ -223,7 +246,7 @@ let revoke t cert_id ~reason =
             Heartbeat.stop_emitter emitter;
             Ident.Tbl.remove t.beats cert_id
         | None -> ());
-        Broker.publish ~src:t.router (World.broker t.world) (Cr.topic record)
+        Broker.publish ~src:t.router ~retain:true (World.broker t.world) (Cr.topic record)
           (Protocol.Invalidated { issuer = t.router; cert_id; reason });
         replicate t cert_id false;
         true
@@ -233,8 +256,15 @@ let issue t ~kind ~args ~holder ~holder_key ?expires_at () =
   let cert_id = World.fresh_cert_id t.world in
   let now = World.now t.world in
   let appt =
-    Appointment.issue ~master_secret:t.secret ~epoch:t.epoch ~id:cert_id ~issuer:t.router ~kind
-      ~args ~holder:holder_key ~issued_at:now ?expires_at ()
+    match t.signing with
+    | Some keypair ->
+        Signed.issue_appointment ~keypair
+          ~rng:(Signed.rng (World.authority t.world))
+          ~epoch:t.epoch ~id:cert_id ~issuer:t.router ~kind ~args ~holder:holder_key
+          ~issued_at:now ?expires_at ()
+    | None ->
+        Appointment.issue ~master_secret:t.secret ~epoch:t.epoch ~id:cert_id ~issuer:t.router
+          ~kind ~args ~holder:holder_key ~issued_at:now ?expires_at ()
   in
   let record =
     Cr.add t.crs ~cert_id ~issuer:t.router ~kind:Cr.Kind_appointment ~principal:holder ~name:kind
@@ -261,8 +291,18 @@ let reissue t (old : Appointment.t) =
   if primary_down t then raise Primary_unavailable;
   if not (Ident.equal old.Appointment.issuer t.router) then Error "not our certificate"
   else if
+    (* Re-issue accepts any epoch (that is its purpose) but never a bad
+       signature or an expired certificate, whichever scheme signed it. *)
     not
-      (Appointment.verify_ignoring_epoch ~master_secret:t.secret ~now:(World.now t.world) old)
+      (match t.signing with
+      | Some kp ->
+          (not (Appointment.expired ~now:(World.now t.world) old))
+          && (match Schnorr.of_digest old.Appointment.signature with
+             | Some sg ->
+                 Schnorr.verify ~public:kp.Schnorr.public (Appointment.signing_bytes old) sg
+             | None -> false)
+      | None ->
+          Appointment.verify_ignoring_epoch ~master_secret:t.secret ~now:(World.now t.world) old)
   then Error "signature or expiry check failed"
   else if not (primary_view t old.Appointment.id) then Error "credential record revoked"
   else begin
@@ -277,7 +317,14 @@ let reissue t (old : Appointment.t) =
          ~holder_key:old.Appointment.holder ?expires_at:old.Appointment.expires_at ())
   end
 
-let rotate_secret t = t.epoch <- t.epoch + 1
+let rotate_secret t =
+  t.epoch <- t.epoch + 1;
+  match t.signing with
+  | Some kp ->
+      ignore
+        (Signed.enrol (World.authority t.world) ~subject:t.router ~subject_pk:kp.Schnorr.public
+           ~key_epoch:t.epoch ~now:(World.now t.world))
+  | None -> ()
 
 let registrar t = t.audit
 

@@ -27,10 +27,20 @@ type t
 type replication = Async | Sync
 
 val create :
-  Oasis_core.World.t -> name:string -> ?replicas:int -> ?replication:replication -> unit -> t
+  Oasis_core.World.t ->
+  name:string ->
+  ?replicas:int ->
+  ?replication:replication ->
+  ?offline_sign:bool ->
+  unit ->
+  t
 (** Default 3 replicas, [Async] replication. The cluster registers its
     router under [name] in the world's service registry, so policy rules can
-    say [appt:kind(…)@name]. *)
+    say [appt:kind(…)@name]. With [offline_sign] (default on) the CIV
+    enrols a Schnorr issuing key with the world's domain root and signs
+    appointments offline-verifiably (DESIGN.md §12); relying services with
+    [offline_verify] then validate them with zero RPCs to the cluster. Off
+    restores epoch-HMAC signing, where every check is a replica callback. *)
 
 val replication : t -> replication
 

@@ -24,6 +24,11 @@ type 'a t = {
   latency : float;
   jitter : float;
   subs : (topic, 'a sub list ref) Hashtbl.t;
+  (* Last retained publish per topic (source, payload): a tombstone a late
+     subscriber can ask to have replayed. OASIS retains exactly one kind of
+     event — a credential record's Invalidated notice, which is true forever
+     once published. *)
+  retained : (topic, Ident.t option * 'a) Hashtbl.t;
   mutable next_id : int;
   (* Delivery filter consulted when a publish carries a source ident; the
      world wires this to [Fault.is_cut] so named partitions sever event
@@ -48,6 +53,7 @@ let create engine rng ~notify_latency ?(jitter = 0.0) ?obs () =
     latency = notify_latency;
     jitter;
     subs = Hashtbl.create 64;
+    retained = Hashtbl.create 16;
     next_id = 0;
     filter = None;
     c_published = Obs.counter obs "broker.published";
@@ -66,18 +72,6 @@ let bucket t topic =
       Hashtbl.replace t.subs topic b;
       b
 
-let subscribe t topic ~owner callback =
-  let sub = { id = t.next_id; sub_topic = topic; owner; callback; active = true } in
-  t.next_id <- t.next_id + 1;
-  let b = bucket t topic in
-  b := sub :: !b;
-  {
-    unsub =
-      (fun () ->
-        sub.active <- false;
-        b := List.filter (fun s -> s.id <> sub.id) !b);
-  }
-
 let unsubscribe _t subscription = subscription.unsub ()
 
 let delay t = t.latency +. (if t.jitter > 0.0 then Rng.float t.rng t.jitter else 0.0)
@@ -91,45 +85,81 @@ let cut t src sub =
   | Some src, Some f -> f ~publisher:src ~owner:sub.owner
   | _ -> false
 
-let publish ?src t topic payload =
+let schedule_delivery t src sub payload =
+  let topic = sub.sub_topic in
+  ignore
+    (Engine.schedule t.engine ~after:(delay t) (fun () ->
+         if not sub.active then
+           (* The subscriber unsubscribed while this notification was
+              in flight. Account for it so published × subscribers =
+              notified + suppressed always holds. *)
+           Obs.Counter.inc t.c_suppressed
+         else if cut t src sub then begin
+           (* Partitioned at delivery time: the channel is severed,
+              the notification is lost like a network message. *)
+           Obs.Counter.inc t.c_suppressed_part;
+           if Obs.tracing t.obs then
+             Obs.event t.obs "broker.suppress"
+               ~labels:
+                 [
+                   ("cause", "partitioned");
+                   ("topic", topic);
+                   ("owner", Ident.to_string sub.owner);
+                 ]
+         end
+         else begin
+           Obs.Counter.inc t.c_notified;
+           if Obs.tracing t.obs then
+             Obs.event t.obs "broker.notify"
+               ~labels:[ ("topic", topic); ("owner", Ident.to_string sub.owner) ];
+           sub.callback sub.sub_topic payload
+         end))
+
+let subscribe ?(replay_retained = false) t topic ~owner callback =
+  let sub = { id = t.next_id; sub_topic = topic; owner; callback; active = true } in
+  t.next_id <- t.next_id + 1;
+  let b = bucket t topic in
+  b := sub :: !b;
+  (* A late subscriber asking for replay receives the topic's retained
+     event as if it had just been published: same latency, same partition
+     filtering at delivery time. *)
+  if replay_retained then begin
+    match Hashtbl.find_opt t.retained topic with
+    | Some (src, payload) -> schedule_delivery t src sub payload
+    | None -> ()
+  end;
+  {
+    unsub =
+      (fun () ->
+        sub.active <- false;
+        b := List.filter (fun s -> s.id <> sub.id) !b);
+  }
+
+let retained t topic ~reader =
+  match Hashtbl.find_opt t.retained topic with
+  | None -> None
+  | Some (src, payload) ->
+      (* The tombstone lives on the publisher's side of the fabric: a reader
+         currently partitioned from it cannot see it, exactly as it would
+         miss the live notification. *)
+      let severed =
+        match (src, t.filter) with
+        | Some src, Some f -> f ~publisher:src ~owner:reader
+        | _ -> false
+      in
+      if severed then None else Some payload
+
+let publish ?src ?(retain = false) t topic payload =
   Obs.Counter.inc t.c_published;
   if Obs.tracing t.obs then Obs.event t.obs "broker.publish" ~labels:[ ("topic", topic) ];
+  if retain then Hashtbl.replace t.retained topic (src, payload);
   match Hashtbl.find_opt t.subs topic with
   | None -> ()
   | Some b ->
       (* Snapshot in subscription order; a subscriber added after this
-         publish must not see it. *)
+         publish must not see it (unless it opts into retained replay). *)
       let snapshot = List.rev !b in
-      List.iter
-        (fun sub ->
-          ignore
-            (Engine.schedule t.engine ~after:(delay t) (fun () ->
-                 if not sub.active then
-                   (* The subscriber unsubscribed while this notification was
-                      in flight. Account for it so published × subscribers =
-                      notified + suppressed always holds. *)
-                   Obs.Counter.inc t.c_suppressed
-                 else if cut t src sub then begin
-                   (* Partitioned at delivery time: the channel is severed,
-                      the notification is lost like a network message. *)
-                   Obs.Counter.inc t.c_suppressed_part;
-                   if Obs.tracing t.obs then
-                     Obs.event t.obs "broker.suppress"
-                       ~labels:
-                         [
-                           ("cause", "partitioned");
-                           ("topic", topic);
-                           ("owner", Ident.to_string sub.owner);
-                         ]
-                 end
-                 else begin
-                   Obs.Counter.inc t.c_notified;
-                   if Obs.tracing t.obs then
-                     Obs.event t.obs "broker.notify"
-                       ~labels:[ ("topic", topic); ("owner", Ident.to_string sub.owner) ];
-                   sub.callback sub.sub_topic payload
-                 end)))
-        snapshot
+      List.iter (fun sub -> schedule_delivery t src sub payload) snapshot
 
 let subscriber_count t topic =
   match Hashtbl.find_opt t.subs topic with None -> 0 | Some b -> List.length !b

@@ -35,10 +35,21 @@ val create :
 val obs : 'a t -> Oasis_obs.Obs.t
 (** The registry this broker reports into. *)
 
-val subscribe : 'a t -> topic -> owner:Oasis_util.Ident.t -> (topic -> 'a -> unit) -> subscription
+val subscribe :
+  ?replay_retained:bool ->
+  'a t ->
+  topic ->
+  owner:Oasis_util.Ident.t ->
+  (topic -> 'a -> unit) ->
+  subscription
 (** The callback fires once per matching publish, after the notification
     latency. [owner] identifies the subscribing service for statistics and
-    debugging. *)
+    debugging. With [replay_retained] (default off) the topic's retained
+    event, if any, is also delivered to this subscriber as though it had
+    just been published — same latency, same partition filtering. Offline
+    credential verification relies on this: a service that installs a
+    dependency watch without first asking the issuer must still learn that
+    the certificate's channel already carries a revocation tombstone. *)
 
 val unsubscribe : 'a t -> subscription -> unit
 (** Idempotent. Publishes in flight at unsubscribe time are suppressed at
@@ -46,13 +57,16 @@ val unsubscribe : 'a t -> subscription -> unit
     notification is accounted for: for each publish,
     subscribers-at-publish-time = notified + suppressed. *)
 
-val publish : ?src:Oasis_util.Ident.t -> 'a t -> topic -> 'a -> unit
+val publish : ?src:Oasis_util.Ident.t -> ?retain:bool -> 'a t -> topic -> 'a -> unit
 (** Callable from any context. Delivery order to distinct subscribers of one
     publish follows subscription order; distinct publishes to one subscriber
     arrive in publish order (FIFO per link latency). [src] names the
     publishing node; when given, deliveries are subject to the partition
     filter ({!set_filter}) — publishes without a source are never
-    filtered. *)
+    filtered. With [retain] (default off) the event also becomes the
+    topic's retained event, replacing any previous one, for subscribers who
+    ask for replay; retain it only for events that stay true forever, such
+    as a credential record's [Invalidated] notice. *)
 
 val set_filter : 'a t -> (publisher:Oasis_util.Ident.t -> owner:Oasis_util.Ident.t -> bool) option -> unit
 (** Installs a delivery filter, consulted at delivery time for publishes
@@ -61,6 +75,15 @@ val set_filter : 'a t -> (publisher:Oasis_util.Ident.t -> owner:Oasis_util.Ident
     under [broker.suppressed{cause=partitioned}]). The world wires this to
     [Fault.is_cut] so partitions cut event channels alongside the
     network. *)
+
+val retained : 'a t -> topic -> reader:Oasis_util.Ident.t -> 'a option
+(** The topic's retained event as visible to [reader] right now: [None] if
+    nothing was retained or if the partition filter currently severs the
+    channel from the retaining publisher to [reader] — a partitioned
+    verifier misses the tombstone exactly as it misses the live
+    notification. Offline credential verification reads this at
+    presentation time, treating the certificate's event channel as a
+    push-based revocation list. *)
 
 val subscriber_count : 'a t -> topic -> int
 

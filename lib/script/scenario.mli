@@ -38,6 +38,7 @@
     run-until 1000.0
 
     suspect-grace 5.0           # config for services created after it
+    offline-verify off          # legacy HMAC + callback-per-check path
     fault partition wan hospital|civ   # sides are comma-separated services
     fault heal wan
     fault crash hospital
@@ -59,7 +60,10 @@
     created {e after} it to keep failure-detected roles active-but-suspect
     for [F] virtual seconds of anti-entropy reconciliation before
     fail-closed deactivation ([0] — the default — deactivates
-    immediately).
+    immediately). [offline-verify on|off] (default on) controls whether
+    services issue root-certified signed credentials and verify presented
+    ones locally with zero RPCs (DESIGN.md §12); place it before the first
+    world-creating directive so the CIV's signing mode matches.
 
     Argument tokens inside parentheses: a declared principal name denotes
     its identity; integers, floats (times), ["strings"], [true]/[false] are

@@ -171,6 +171,128 @@ let test_size_matches_encoding () =
     true
     (abs (encoded - claimed) < 16)
 
+(* ---------------- Canonical-encoding regressions ---------------- *)
+
+(* Replace the unique occurrence of [before] in [s]; the tests below rewrite
+   specific TLV frames, so a missing or ambiguous pattern is a test bug. *)
+let rewrite s ~before ~after =
+  let n = String.length s and m = String.length before in
+  let rec find i =
+    if i + m > n then Alcotest.failf "pattern %S not found" before
+    else if String.equal (String.sub s i m) before then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ after ^ String.sub s (i + m) (n - i - m)
+
+let sample_rmc ?(args = [ Value.Int 1 ]) () =
+  Rmc.issue ~secret ~principal_key:"k" ~id:(Ident.make "cert" 11)
+    ~issuer:(Ident.make "service" 1) ~role:"doctor" ~args ~issued_at:3.0
+
+let test_noncanonical_lengths_rejected () =
+  (* The strict decimal length rule: anything [int_of_string_opt] would also
+     admit re-frames the same certificate bytes and must be refused. *)
+  let sample = Codec.rmc_to_string (sample_rmc ()) in
+  List.iter
+    (fun (before, after) ->
+      match Codec.rmc_of_string (rewrite sample ~before ~after) with
+      | Ok _ -> Alcotest.failf "non-canonical length %S decoded" after
+      | Error _ -> ())
+    [
+      ("T3:rmc", "T0x3:rmc"); (* hex *)
+      ("T3:rmc", "T+3:rmc"); (* explicit sign *)
+      ("T3:rmc", "T03:rmc"); (* leading zero *)
+      ("S32:", "S3_2:"); (* underscore separator, signature field *)
+      ("S32:", "S032:"); (* leading zero, two digits *)
+    ]
+
+let test_nan_timestamp_rejected () =
+  (* A NaN expiry used to decode as "never expires"; now any NaN timestamp
+     byte pattern is refused outright. *)
+  let appt expires_at =
+    Appointment.issue ~master_secret:secret ~epoch:1 ~id:(Ident.make "cert" 12)
+      ~issuer:(Ident.make "service" 1) ~kind:"member" ~args:[] ~holder:"h" ~issued_at:1.0
+      ~expires_at ()
+  in
+  let sample = Codec.appointment_to_string (appt 9.0) in
+  (match Codec.appointment_of_string (rewrite sample ~before:"F8:0x1.2p+3" ~after:"F3:nan") with
+  | Ok _ -> Alcotest.fail "NaN expiry decoded"
+  | Error _ -> ());
+  (* The encoder itself can be handed NaN; its output must not decode. *)
+  (match Codec.appointment_of_string (Codec.appointment_to_string (appt Float.nan)) with
+  | Ok _ -> Alcotest.fail "encoded NaN expiry decoded"
+  | Error _ -> ());
+  (* Non-canonical spellings of real floats are also refused... *)
+  (match Codec.appointment_of_string (rewrite sample ~before:"F8:0x1.2p+3" ~after:"F4:-inf") with
+  | Ok _ -> Alcotest.fail "non-canonical -inf decoded"
+  | Error _ -> ());
+  (* ...but the canonical ones keep their meaning: +infinity is "never
+     expires", -infinity is "expired since forever", not None. *)
+  (match Codec.appointment_of_string (rewrite sample ~before:"F8:0x1.2p+3" ~after:"F8:infinity") with
+  | Ok a -> Alcotest.(check bool) "+infinity is None" true (a.Appointment.expires_at = None)
+  | Error e -> Alcotest.failf "+infinity refused: %s" (Format.asprintf "%a" Codec.pp_error e));
+  match Codec.appointment_of_string (rewrite sample ~before:"F8:0x1.2p+3" ~after:"F9:-infinity") with
+  | Ok a ->
+      Alcotest.(check bool) "-infinity stays Some" true
+        (a.Appointment.expires_at = Some Float.neg_infinity)
+  | Error e -> Alcotest.failf "-infinity refused: %s" (Format.asprintf "%a" Codec.pp_error e)
+
+let test_special_floats_roundtrip () =
+  (* Every special but representable timestamp survives the round trip. *)
+  List.iter
+    (fun f ->
+      let appt =
+        Appointment.issue ~master_secret:secret ~epoch:0 ~id:(Ident.make "cert" 13)
+          ~issuer:(Ident.make "service" 1) ~kind:"member" ~args:[ Value.Time f ] ~holder:"h"
+          ~issued_at:f ~expires_at:f ()
+      in
+      match Codec.appointment_of_string (Codec.appointment_to_string appt) with
+      | Ok decoded -> Alcotest.(check bool) (Printf.sprintf "roundtrip %h" f) true (appt_equal appt decoded)
+      | Error e ->
+          Alcotest.failf "special float %h refused: %s" f (Format.asprintf "%a" Codec.pp_error e))
+    [
+      0.0;
+      -0.0;
+      Float.min_float;
+      Float.max_float;
+      4.9e-324 (* subnormal *);
+      -1.5e308;
+      Float.neg_infinity;
+    ]
+
+let test_malformed_bool_rejected () =
+  (* A bool body other than "0"/"1" used to decode as false; now only the
+     two canonical bodies are values at all. *)
+  let sample = Codec.rmc_to_string (sample_rmc ~args:[ Value.Bool true ] ()) in
+  List.iter
+    (fun (before, after) ->
+      match Codec.rmc_of_string (rewrite sample ~before ~after) with
+      | Ok _ -> Alcotest.failf "bool body %S decoded" after
+      | Error _ -> ())
+    [ ("b1:1", "b1:2"); ("b1:1", "b4:true"); ("b1:1", "b0:") ];
+  match Codec.rmc_of_string (rewrite sample ~before:"b1:1" ~after:"b1:0") with
+  | Ok decoded -> Alcotest.(check bool) "b1:0 is false" true (decoded.Rmc.args = [ Value.Bool false ])
+  | Error _ -> Alcotest.fail "canonical false refused"
+
+let test_decode_is_canonical () =
+  (* decode ∘ encode is the identity on bytes: anything that decodes at all
+     re-encodes byte-identically, so each certificate has exactly one wire
+     form and a signature over it covers every decodable presentation. *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:300 ~name:"unique wire form"
+       QCheck.(pair (make rmc_gen) (pair small_nat (int_range 0 255)))
+       (fun (rmc, (at, replacement)) ->
+         let bytes = Codec.rmc_to_string rmc in
+         (match Codec.rmc_of_string bytes with
+         | Ok decoded -> assert (String.equal (Codec.rmc_to_string decoded) bytes)
+         | Error _ -> assert false);
+         let mutated = Bytes.of_string bytes in
+         Bytes.set mutated (at mod Bytes.length mutated) (Char.chr replacement);
+         let mutated = Bytes.to_string mutated in
+         match Codec.rmc_of_string mutated with
+         | Ok decoded -> String.equal (Codec.rmc_to_string decoded) mutated
+         | Error _ -> true))
+
 let suite =
   ( "codec",
     [
@@ -183,4 +305,9 @@ let suite =
       Alcotest.test_case "kind confusion" `Quick test_kind_confusion_rejected;
       Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes_rejected;
       Alcotest.test_case "size accounting" `Quick test_size_matches_encoding;
+      Alcotest.test_case "non-canonical lengths" `Quick test_noncanonical_lengths_rejected;
+      Alcotest.test_case "NaN timestamps" `Quick test_nan_timestamp_rejected;
+      Alcotest.test_case "special floats roundtrip" `Quick test_special_floats_roundtrip;
+      Alcotest.test_case "malformed bools" `Quick test_malformed_bool_rejected;
+      Alcotest.test_case "unique wire form (qcheck)" `Quick test_decode_is_canonical;
     ] )

@@ -23,6 +23,10 @@ let fault_config =
     Service.default_config with
     suspect_grace = 5.0;
     retry = { Backoff.default with base = 0.01; cap = 0.2; max_attempts = 3 };
+    (* These tests exercise the validation-RPC failure detector and the
+       suspect/reconciliation machinery; offline verification would answer
+       the presentations locally and never touch the faulty link. *)
+    offline_verify = false;
   }
 
 let build ?(seed = 1) ?(config = fault_config) ?monitoring () =

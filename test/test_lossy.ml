@@ -10,7 +10,13 @@ let build ~retries ~loss ~seed =
   let world = World.create ~seed () in
   let issuer = Service.create world ~name:"issuer" ~policy:"initial base <- env:eq(1, 1);" () in
   let config =
-    { Service.default_config with retry = Oasis_util.Backoff.fixed (retries + 1) }
+    {
+      Service.default_config with
+      retry = Oasis_util.Backoff.fixed (retries + 1);
+      (* The suite measures validation-RPC retries over a lossy link;
+         offline verification would bypass the link entirely. *)
+      offline_verify = false;
+    }
   in
   let relying =
     Service.create world ~name:"relying" ~config ~policy:"derived <- base@issuer;" ()

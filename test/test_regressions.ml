@@ -73,8 +73,12 @@ let test_heartbeat_cancel_releases_timer () =
 let test_decommission_releases_cache_watches () =
   let world = World.create ~seed:13 () in
   let civ = Civ.create world ~name:"authority" () in
+  (* The regression is about releasing cache-invalidation watches, which
+     only the legacy callback path installs (offline verification does not
+     populate the positive cache). *)
+  let config = { Service.default_config with offline_verify = false } in
   let svc =
-    Service.create world ~name:"club"
+    Service.create world ~name:"club" ~config
       ~policy:"initial member(u) <- *appt:badge(u)@authority;" ()
   in
   let p = Principal.create world ~name:"p" in

@@ -206,7 +206,10 @@ let clinic_policy = "consultant(u) <- *doctor(u)@hospital;"
 let test_cache_saves_callbacks () =
   let t = make () in
   let session = alice_treating t ~patient:7 in
-  let clinic = Service.create t.world ~name:"clinic" ~policy:clinic_policy () in
+  (* Measures the legacy callback economics; offline verification would
+     answer every presentation with zero callbacks. *)
+  let config = { Service.default_config with offline_verify = false } in
+  let clinic = Service.create t.world ~name:"clinic" ~config ~policy:clinic_policy () in
   World.run_proc t.world (fun () ->
       for _ = 1 to 5 do
         match Principal.activate t.alice session clinic ~role:"consultant" () with
@@ -222,7 +225,9 @@ let test_cache_saves_callbacks () =
 let test_cache_disabled_calls_back_every_time () =
   let t = make () in
   let session = alice_treating t ~patient:7 in
-  let config = { Service.default_config with cache_remote_validation = false } in
+  let config =
+    { Service.default_config with cache_remote_validation = false; offline_verify = false }
+  in
   let clinic = Service.create t.world ~name:"clinic" ~config ~policy:clinic_policy () in
   World.run_proc t.world (fun () ->
       for _ = 1 to 5 do

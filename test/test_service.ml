@@ -251,7 +251,10 @@ let test_cross_service_prereq () =
   (* Fig. 1: service C requires RMCs issued by A. *)
   let world = World.create ~seed:9 () in
   let a = Service.create world ~name:"a" ~policy:"initial base <- env:eq(1, 1);" () in
-  let c2 = Service.create world ~name:"c2" ~policy:"derived2 <- base@a;" () in
+  (* The point is the legacy validation callback at the issuer; offline
+     verification would prove [base@a] locally without one. *)
+  let config = { Service.default_config with offline_verify = false } in
+  let c2 = Service.create world ~name:"c2" ~config ~policy:"derived2 <- base@a;" () in
   let p = Principal.create world ~name:"p" in
   World.run_proc world (fun () ->
       let s = Principal.start_session p in
