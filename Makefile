@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint trace-smoke chaos check bench doc clean examples
+.PHONY: all build test lint analyze fuzz trace-smoke chaos check bench doc clean examples
 
 all: build
 
@@ -17,6 +17,22 @@ lint: build
 	dune exec bin/oasisctl.exe -- lint scenarios/hospital.scn
 	dune exec bin/oasisctl.exe -- lint scenarios/nurse_allocation.scn
 
+# Symbolic reachability analysis (DESIGN.md §13) over the same surfaces:
+# classic report plus the R001-R003 findings; exits non-zero on any
+# error-severity finding, so the shipped policies must analyze clean (or
+# carry explicit lint:allow waivers).
+analyze: build
+	dune exec bin/oasisctl.exe -- analyze policies/hospital.oasis --name hospital --kinds is_admin,is_rota_manager
+	dune exec bin/oasisctl.exe -- analyze scenarios/hospital.scn
+	dune exec bin/oasisctl.exe -- analyze scenarios/nurse_allocation.scn
+
+# Property-driven scenario fuzzer: random worlds random-walked through the
+# real Service/Solve engine, every activation cross-checked against the
+# symbolic analyzer's verdict and every reachable verdict replayed as a
+# concrete witness plan (test/test_fuzz.ml; also part of `dune runtest`).
+fuzz: build
+	dune exec test/test_main.exe -- test fuzz
+
 # Traces the hospital scenario end to end and schema-checks every JSONL
 # event line (--check re-parses what the sink wrote); proves the whole
 # observability pipeline — world registry, trace sinks, exporter — runs.
@@ -29,10 +45,11 @@ trace-smoke: build
 chaos: build
 	dune exec test/test_main.exe -- test chaos
 
-# The full gate: build everything, run the test suite, lint the shipped
-# policies, smoke the trace pipeline, run the chaos harness, and smoke the
-# bench harness (single cheap iteration; also proves the JSON emitters run).
-check: build test lint trace-smoke chaos
+# The full gate: build everything, run the test suite, lint and
+# reachability-analyze the shipped policies, smoke the trace pipeline, run
+# the chaos harness and the analyzer/engine cross-check fuzzer, and smoke
+# the bench harness (single cheap iteration; proves the JSON emitters run).
+check: build test lint analyze trace-smoke chaos fuzz
 	dune exec bench/main.exe -- E9 E11 E12 E13 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).

@@ -65,39 +65,144 @@ let policy_check_cmd =
 
 (* ---------------- analyze ---------------- *)
 
-let analyze file svc_name kinds held =
-  let source =
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
+module Analysis = Oasis_policy.Analysis
+module Reach = Oasis_policy.Reach
+module PLint = Oasis_policy.Lint
+
+let read_source file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A .scn file carries its whole world (plus the implicit CIV); a .oasis
+   file is one service whose name and extra kinds come from the flags. *)
+let load_world file svc_name kinds source =
+  if Filename.check_suffix file ".scn" then
+    match Oasis_script.Scenario.extract_policies source with
+    | Error e ->
+        Format.eprintf "%a\n" Oasis_script.Scenario.pp_error e;
+        exit 1
+    | Ok world -> world
+  else
+    match Oasis_policy.Parser.parse source with
+    | Error e ->
+        Format.eprintf "%s: %a\n" file Oasis_policy.Parser.pp_error e;
+        exit 1
+    | Ok statements ->
+        [ Analysis.of_statements ~name:svc_name ~appointment_kinds:kinds statements ]
+
+(* --held entries are "kind" (issued by the analysed service, or by the
+   implicit CIV for scenarios) or "kind@service". *)
+let parse_held ~default_issuer entries =
+  List.map
+    (fun entry ->
+      match String.index_opt entry '@' with
+      | Some i ->
+          ( String.sub entry (i + 1) (String.length entry - i - 1),
+            String.sub entry 0 i )
+      | None -> (default_issuer, entry))
+    entries
+
+let analyze_core file svc_name kinds held adversary goal pins json =
+  let source = read_source file in
+  let world = load_world file svc_name kinds source in
+  let default_issuer =
+    if Filename.check_suffix file ".scn" then "civ" else svc_name
   in
-  match Oasis_policy.Parser.parse source with
-  | Error e ->
-      Format.eprintf "%s: %a\n" file Oasis_policy.Parser.pp_error e;
-      exit 1
-  | Ok statements ->
-      let policy =
-        Oasis_policy.Analysis.of_statements ~name:svc_name ~appointment_kinds:kinds statements
+  let held_pairs = parse_held ~default_issuer held in
+  (* The footgun fix: --adversary defaults to the EMPTY wallet (the
+     adversarial worst case); without it the default stays the most
+     permissive principal, which is what dead-role detection wants. *)
+  let creds =
+    match (held_pairs, adversary) with
+    | [], true -> Reach.no_credentials
+    | [], false -> Reach.permissive world
+    | pairs, _ -> { Reach.held_appointments = pairs; held_roles = [] }
+  in
+  let result = Reach.analyse ~adversary:creds ~pins world in
+  let findings =
+    Reach.findings world |> PLint.apply_waivers ~waivers:(PLint.waivers source)
+  in
+  let count sev = List.length (List.filter (fun f -> f.PLint.severity = sev) findings) in
+  match goal with
+  | Some g ->
+      (* Goal query: verdict-driven exit code so CI can gate on "can the
+         adversary reach this role": 0 unreachable, 2 reachable,
+         3 env-contingent. *)
+      let svc_filter, role =
+        match String.index_opt g '@' with
+        | Some i ->
+            (Some (String.sub g (i + 1) (String.length g - i - 1)), String.sub g 0 i)
+        | None -> (None, g)
       in
-      let held_appointments =
-        match held with [] -> None | held -> Some (List.map (fun k -> (svc_name, k)) held)
+      let goals =
+        List.filter
+          (fun gl ->
+            String.equal gl.Reach.g_role role
+            && match svc_filter with None -> true | Some s -> String.equal gl.Reach.g_service s)
+          result.Reach.goals
       in
-      let report = Oasis_policy.Analysis.analyse ?held_appointments [ policy ] in
-      Format.printf "%a\n" Oasis_policy.Analysis.pp_report report;
-      if
-        report.Oasis_policy.Analysis.dead_roles <> []
-        || report.Oasis_policy.Analysis.prereq_cycles <> []
-        || report.Oasis_policy.Analysis.unresolved <> []
-      then exit 2
+      if goals = [] then begin
+        Format.eprintf "%s: no service defines role %s\n" file g;
+        exit 1
+      end;
+      if json then
+        print_endline (Reach.to_json ~findings { result with Reach.goals })
+      else List.iter (fun gl -> Format.printf "%a\n" Reach.pp_goal gl) goals;
+      let worst =
+        List.fold_left
+          (fun acc gl ->
+            match (acc, gl.Reach.g_verdict) with
+            | Reach.Reachable, _ | _, Reach.Reachable -> Reach.Reachable
+            | Reach.Env_contingent, _ | _, Reach.Env_contingent -> Reach.Env_contingent
+            | v, Reach.Unreachable -> v)
+          Reach.Unreachable goals
+      in
+      exit
+        (match worst with
+        | Reach.Unreachable -> 0
+        | Reach.Reachable -> 2
+        | Reach.Env_contingent -> 3)
+  | None ->
+      if json then print_endline (Reach.to_json ~findings result)
+      else begin
+        let unresolved =
+          if adversary then []
+          else begin
+            (* Classic report (reachability under the same wallet, dead
+               roles, cycles, dangling references), then the R-findings. *)
+            let report =
+              Analysis.analyse ~held_appointments:creds.Reach.held_appointments world
+            in
+            Format.printf "%a\n" Analysis.pp_report report;
+            report.Analysis.unresolved
+          end
+        in
+        if adversary then Format.printf "%a\n" Reach.pp_result result;
+        List.iter (fun f -> Format.printf "%s:%a\n" file PLint.pp_finding f) findings;
+        Format.printf "%s: %d error(s), %d warning(s), %d info\n" file (count PLint.Error)
+          (count PLint.Warning) (count PLint.Info);
+        if count PLint.Error > 0 || unresolved <> [] then exit 2
+      end;
+      if count PLint.Error > 0 then exit 2
+
+let analyze file svc_name kinds held adversary goal pins json =
+  analyze_core file svc_name kinds held adversary goal pins json
 
 let analyze_cmd =
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Policy file to analyse.")
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Policy file (.oasis) or scenario world (.scn) to analyse.")
   in
   let svc_name =
-    Arg.(value & opt string "service" & info [ "name" ] ~doc:"Registered name of the service.")
+    Arg.(
+      value
+      & opt string "service"
+      & info [ "name" ] ~doc:"Registered name of the service (single policy files).")
   in
   let kinds =
     Arg.(
@@ -110,12 +215,47 @@ let analyze_cmd =
       value
       & opt (list string) []
       & info [ "held" ]
-          ~doc:"Appointment kinds the analysed principal holds (default: all issuable).")
+          ~doc:
+            "Appointment certificates the analysed principal holds, as KIND or KIND@SERVICE \
+             (comma separated). Default without $(b,--adversary): every issuable kind (the \
+             best-case principal, for dead-role detection). Default with $(b,--adversary): \
+             the empty wallet (the worst case).")
   in
+  let adversary =
+    Arg.(
+      value & flag
+      & info [ "adversary" ]
+          ~doc:
+            "Adversarial goal-reachability: three-valued verdicts (reachable, env-contingent, \
+             unreachable) with witness derivation trees, starting from an empty credential \
+             wallet unless $(b,--held) says otherwise.")
+  in
+  let goal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "goal" ] ~docv:"ROLE[@SERVICE]"
+          ~doc:
+            "Restrict the verdict to one role. Exit code: 0 unreachable, 2 reachable, \
+             3 env-contingent.")
+  in
+  let pins =
+    Arg.(
+      value
+      & opt (list (pair ~sep:'=' string bool)) []
+      & info [ "pin" ] ~docv:"PRED=BOOL,..."
+          ~doc:
+            "Pin environmental predicates true or false; unpinned predicates stay free \
+             (verdicts may be env-contingent).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON report.") in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Static policy analysis: role reachability, dead roles, cycles, dangling references")
-    Term.(const analyze $ file $ svc_name $ kinds $ held)
+       ~doc:
+         "Static policy analysis: reachability, dead roles, cycles, dangling references — plus \
+          adversarial symbolic goal-reachability (R001-R003 findings, witness derivations, \
+          lint-grade exit codes)")
+    Term.(const analyze $ file $ svc_name $ kinds $ held $ adversary $ goal $ pins $ json)
 
 (* ---------------- lint ---------------- *)
 
@@ -326,35 +466,19 @@ let trust_cmd =
 
 (* ---------------- analyze-world ---------------- *)
 
-let analyze_world file =
-  let source =
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  match Oasis_script.Scenario.extract_policies source with
-  | Error e ->
-      Format.eprintf "%a\n" Oasis_script.Scenario.pp_error e;
-      exit 1
-  | Ok world ->
-      let report = Oasis_policy.Analysis.analyse world in
-      Format.printf "%a\n" Oasis_policy.Analysis.pp_report report;
-      if
-        report.Oasis_policy.Analysis.dead_roles <> []
-        || report.Oasis_policy.Analysis.prereq_cycles <> []
-        || report.Oasis_policy.Analysis.unresolved <> []
-      then exit 2
+let analyze_world file json = analyze_core file "service" [] [] false None [] json
 
 let analyze_world_cmd =
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Scenario file to analyse.")
   in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON report.") in
   Cmd.v
     (Cmd.info "analyze-world"
-       ~doc:"Static analysis across every service of a scenario file, CIV included")
-    Term.(const analyze_world $ file)
+       ~doc:
+         "Static analysis across every service of a scenario file, CIV included (alias for \
+          $(b,analyze) on a .scn world)")
+    Term.(const analyze_world $ file $ json)
 
 (* ---------------- run (scenario scripts) ---------------- *)
 
