@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint analyze fuzz trace-smoke chaos check bench doc clean examples
+.PHONY: all build test lint analyze fuzz trace-smoke chaos check bench bench-scale doc clean examples
 
 all: build
 
@@ -50,11 +50,17 @@ chaos: build
 # the chaos harness and the analyzer/engine cross-check fuzzer, and smoke
 # the bench harness (single cheap iteration; proves the JSON emitters run).
 check: build test lint analyze trace-smoke chaos fuzz
-	dune exec bench/main.exe -- E9 E11 E12 E13 --smoke
+	dune exec bench/main.exe -- E9 E11 E12 E13 E15 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).
 bench:
 	dune exec bench/main.exe
+
+# The scale curve (DESIGN.md §14): activation throughput, revocation-cascade
+# latency and memory from 10^3 to 10^5 sessions plus a 10^6-timer engine
+# churn, written to BENCH_scale.json.
+bench-scale:
+	dune exec bench/main.exe -- E15
 
 # A subset, e.g. `make bench-E3 bench-E5`.
 bench-%:

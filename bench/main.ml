@@ -1283,11 +1283,234 @@ let e13 () =
   Printf.printf "\n  results written to BENCH_signed.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E15 — engine/storage scale curve (DESIGN.md §14)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Reads an integer field (in kB) out of /proc/self/status; 0 when the
+   field or the file is unavailable (non-Linux). *)
+let proc_status_kb field =
+  match open_in "/proc/self/status" with
+  | exception _ -> 0
+  | ic ->
+      let prefix = field ^ ":" in
+      let plen = String.length prefix in
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> 0
+        | line when String.length line > plen && String.sub line 0 plen = prefix ->
+            let rest = String.sub line plen (String.length line - plen) in
+            (try Scanf.sscanf rest " %d" (fun kb -> kb) with _ -> 0)
+        | _ -> scan ()
+      in
+      let kb = scan () in
+      close_in ic;
+      kb
+
+(* The scale curve behind the leak fixes (heap slot clearing, tombstone
+   compaction, O(1)-allocation broker fan-out, sharded credential stores):
+   one full-stack world per session count N —
+
+     enrol N principals with CIV badge appointments, activate all N at a
+     relying service (wall-clocked -> activations/sec), run a heartbeat
+     period of steady state, revoke sampled badges and drive each cascade
+     to the dependent role's collapse (wall + virtual latency), then log
+     out 90% of sessions in one storm and assert the physical heap is
+     O(live timers) — the acceptance check that cancelled heartbeat
+     emitters/monitors do not accumulate as tombstones.
+
+   A separate engine-only section churns 10^6 schedule/cancel pairs to
+   place the timer core itself on the curve without per-activation
+   crypto dominating. Results go to BENCH_scale.json. *)
+let e15 () =
+  header "E15 Scale: throughput, cascade latency and memory, 10^3 to 10^6";
+  (* At a ~0.5 GB live set the default major-GC pacing (space_overhead 120)
+     dominates: measured on this workload it costs 2x in throughput and
+     spends half the run in the kernel remapping pages. Trading ~5% RSS for
+     slack is the right call at this scale; see EXPERIMENTS.md E15. *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 200 };
+  let smoke = !smoke_mode in
+  let counts = if smoke then [ 64; 256 ] else [ 1_000; 5_000; 20_000; 100_000 ] in
+  let cascade_samples = if smoke then 4 else 32 in
+  let heartbeat_period = 30.0 in
+
+  let session_row n =
+    let world =
+      World.create ~seed:15
+        ~monitoring:(World.Heartbeats { period = heartbeat_period; deadline = 3.0 *. heartbeat_period })
+        ()
+    in
+    let civ = Civ.create world ~name:"civ" () in
+    let svc =
+      Service.create world ~name:"gate" ~policy:"initial member(u) <- *appt:badge(u)@civ ;" ()
+    in
+    let principals =
+      Array.init n (fun i ->
+          let p = Principal.create world ~name:(Printf.sprintf "p%d" i) in
+          let appt =
+            Civ.issue civ ~kind:"badge"
+              ~args:[ Value.Id (Principal.id p) ]
+              ~holder:(Principal.id p) ~holder_key:(Principal.longterm_public p) ()
+          in
+          Principal.grant_appointment p appt;
+          (p, appt))
+    in
+    World.settle world;
+    (* Activation storm, wall-clocked. *)
+    let t0 = Unix.gettimeofday () in
+    let sessions =
+      Array.map
+        (fun (p, _) ->
+          World.run_proc world (fun () ->
+              let s = Principal.start_session p in
+              let rmc = ok (Principal.activate p s svc ~role:"member" ()) in
+              (s, rmc)))
+        principals
+    in
+    World.settle world;
+    let activation_wall = Unix.gettimeofday () -. t0 in
+    let rate = float_of_int n /. activation_wall in
+    (* Steady state: one full heartbeat period of beating for every live
+       credential record, wall-clocked as engine events/sec. *)
+    let engine = World.engine world in
+    let exec0 = Oasis_sim.Engine.events_executed engine in
+    let t0 = Unix.gettimeofday () in
+    World.run_until world (World.now world +. heartbeat_period);
+    let sustain_wall = Unix.gettimeofday () -. t0 in
+    let sustained_events =
+      float_of_int (Oasis_sim.Engine.events_executed engine - exec0) /. sustain_wall
+    in
+    let peak_rss_kb = proc_status_kb "VmHWM" in
+    let rss_kb = proc_status_kb "VmRSS" in
+    (* Revocation cascades: revoke the sampled badges at the CIV in one
+       batch, then step until every dependent role at the gate has
+       collapsed. In heartbeat mode detection is deadline-bound, so the
+       virtual latency should sit at ~deadline regardless of N — the
+       flatness claim; the wall cost is amortized over the batch. *)
+    let stride = max 1 (n / cascade_samples) in
+    let victims = Array.init (min cascade_samples n) (fun k -> k * stride) in
+    let n_victims = Array.length victims in
+    let v0 = World.now world in
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun i ->
+        let _, appt = principals.(i) in
+        ignore (Civ.revoke civ appt.Oasis_cert.Appointment.id ~reason:"scale-cascade"))
+      victims;
+    let all_collapsed () =
+      Array.for_all
+        (fun i ->
+          let _, rmc = sessions.(i) in
+          not (Service.is_valid_certificate svc rmc.Rmc.id))
+        victims
+    in
+    (* Drive in one-virtual-second chunks: validity is re-checked 90-odd
+       times, not once per engine event. *)
+    let rec drive limit =
+      if limit > 0 && not (all_collapsed ()) then begin
+        World.run_until world (World.now world +. 1.0);
+        drive (limit - 1)
+      end
+    in
+    drive 400;
+    if not (all_collapsed ()) then failwith "E15: sampled cascades did not collapse";
+    let cascade_wall_us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int n_victims in
+    let cascade_virtual_ms = (World.now world -. v0) *. 1e3 in
+    (* Cancel storm: 90% of the surviving sessions log out at once. Every
+       logout cancels heartbeat emitters, monitor deadlines and suspect
+       timers; the physical heap must end O(live timers), not O(total ever
+       scheduled) — the tombstone-compaction acceptance assertion. *)
+    let victim = Array.make n false in
+    Array.iter (fun i -> victim.(i) <- true) victims;
+    let t0 = Unix.gettimeofday () in
+    World.run_proc world (fun () ->
+        Array.iteri
+          (fun i (p, _) ->
+            if (not victim.(i)) && i mod 10 <> 0 then
+              let s, _ = sessions.(i) in
+              Principal.logout p s)
+          principals);
+    World.settle world;
+    let storm_wall = Unix.gettimeofday () -. t0 in
+    let pending = Oasis_sim.Engine.pending engine in
+    let heap = Oasis_sim.Engine.heap_size engine in
+    if heap > (2 * pending) + 256 then
+      failwith
+        (Printf.sprintf "E15: heap not O(live) after cancel storm: %d slots for %d pending" heap
+           pending);
+    Printf.printf
+      "  %7d | %9.0f act/s | %9.0f ev/s | %7.1f us %6.1f ms | %6.1f MB | %8d/%-8d %5.2fs\n" n
+      rate sustained_events cascade_wall_us cascade_virtual_ms
+      (float_of_int rss_kb /. 1024.0)
+      heap pending storm_wall;
+    Printf.sprintf
+      "    { \"sessions\": %d, \"activations_per_s\": %.0f, \"activation_wall_s\": %.3f,\n\
+      \      \"sustained_events_per_s\": %.0f, \"cascade_wall_us\": %.1f,\n\
+      \      \"cascade_virtual_ms\": %.2f, \"rss_mb\": %.1f, \"peak_rss_mb\": %.1f,\n\
+      \      \"heap_after_storm\": %d, \"pending_after_storm\": %d }"
+      n rate activation_wall sustained_events cascade_wall_us cascade_virtual_ms
+      (float_of_int rss_kb /. 1024.0)
+      (float_of_int peak_rss_kb /. 1024.0)
+      heap pending
+  in
+
+  (* Engine-only churn: the timer core at 10^6 without crypto in the way.
+     Schedule/cancel pairs in heartbeat-re-arm rhythm with a bounded live
+     set; the heap must stay O(live) throughout. *)
+  let timer_churn total =
+    let engine = Oasis_sim.Engine.create () in
+    let live = Queue.create () in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to total do
+      let h =
+        Oasis_sim.Engine.schedule engine ~after:(1.0 +. float_of_int (i land 1023)) (fun () -> ())
+      in
+      Queue.push h live;
+      if Queue.length live > 4096 then Oasis_sim.Engine.cancel engine (Queue.pop live)
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let pending = Oasis_sim.Engine.pending engine in
+    let heap = Oasis_sim.Engine.heap_size engine in
+    if heap > (2 * pending) + 256 then
+      failwith (Printf.sprintf "E15: churn heap %d not O(live %d)" heap pending);
+    let ops = float_of_int (2 * total) /. wall in
+    Printf.printf "  churn %8d timers: %12.0f schedule+cancel ops/s, heap %d for %d live\n" total
+      ops heap pending;
+    (total, ops, heap, pending)
+  in
+
+  Printf.printf "  full stack, heartbeats %.0fs; cascade over %d sampled revocations\n\n"
+    heartbeat_period cascade_samples;
+  Printf.printf "  %7s | %11s | %11s | %17s | %9s | %s\n" "N" "activation" "sustained"
+    "cascade wall/virt" "rss" "heap/pending, storm";
+  let rows = List.map session_row counts in
+  Printf.printf "\n";
+  let churn_total, churn_ops, churn_heap, churn_pending =
+    timer_churn (if smoke then 10_000 else 1_000_000)
+  in
+  let out = open_out "BENCH_scale.json" in
+  Printf.fprintf out
+    "{\n\
+    \  \"benchmark\": \"scale_curve\",\n\
+    \  \"generated_by\": \"dune exec bench/main.exe -- E15%s\",\n\
+    \  \"params\": { \"heartbeat_period_s\": %.0f, \"cascade_samples\": %d, \"smoke\": %b },\n\
+    \  \"claim\": \"cascade detection stays deadline-bound, memory stays ~5KB/session, and the timer heap stays O(live timers) from 10^3 to 10^5 sessions and 10^6 scheduled timers\",\n\
+    \  \"rows\": [\n%s\n  ],\n\
+    \  \"timer_churn\": { \"timers\": %d, \"schedule_cancel_ops_per_s\": %.0f,\n\
+    \                   \"heap_final\": %d, \"pending_final\": %d }\n\
+     }\n"
+    (if smoke then " --smoke" else "")
+    heartbeat_period cascade_samples smoke
+    (String.concat ",\n" rows)
+    churn_total churn_ops churn_heap churn_pending;
+  close_out out;
+  Printf.printf "\n  results written to BENCH_scale.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
-    ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12); ("E13", e13);
+    ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15);
   ]
 
 let () =

@@ -27,53 +27,81 @@ let is_valid t = match t.status with Valid -> true | Revoked _ -> false
    (issuer, name) so "every record for role r" — the solver-candidate and
    introspection queries — costs the matching records, not a scan of the
    whole store. The valid count is maintained incrementally for the same
-   reason. *)
-type store = {
+   reason.
+
+   The store is sharded: primary records by certificate-id hash, the name
+   index by (issuer, name)-key hash. One service holding 10^6 records in a
+   single hashtable pays resize pauses proportional to the whole store and
+   pins one huge bucket array; sixteen shards cap each resize at a sixteenth
+   of the store and keep every lookup O(1) within its shard. Shards also
+   give revocation cascades and future parallel walks an embarrassingly
+   partitionable layout. *)
+
+let shard_bits = 4
+let shard_count = 1 lsl shard_bits
+
+type shard = {
   records : t Ident.Tbl.t;
   by_name : (string, t Ident.Tbl.t) Hashtbl.t;
-  mutable valid : int;
 }
+
+type store = { shards : shard array; mutable valid : int }
 
 let name_key ~issuer ~name = Ident.to_string issuer ^ "\x00" ^ name
 
-let create_store () = { records = Ident.Tbl.create 256; by_name = Hashtbl.create 64; valid = 0 }
+let create_store () =
+  {
+    shards =
+      Array.init shard_count (fun _ ->
+          { records = Ident.Tbl.create 32; by_name = Hashtbl.create 8 });
+    valid = 0;
+  }
+
+let record_shard store cert_id = store.shards.(Ident.hash cert_id land (shard_count - 1))
+
+let name_shard store key = store.shards.(Hashtbl.hash key land (shard_count - 1))
 
 let add store ~cert_id ~issuer ~kind ~principal ~name ~args ~issued_at =
-  if Ident.Tbl.mem store.records cert_id then
+  let shard = record_shard store cert_id in
+  if Ident.Tbl.mem shard.records cert_id then
     invalid_arg
       (Printf.sprintf "Credential_record.add: duplicate certificate %s" (Ident.to_string cert_id));
   let record = { cert_id; issuer; kind; principal; name; args; issued_at; status = Valid } in
-  Ident.Tbl.replace store.records cert_id record;
+  Ident.Tbl.replace shard.records cert_id record;
   let key = name_key ~issuer ~name in
+  let by_name = (name_shard store key).by_name in
   let bucket =
-    match Hashtbl.find_opt store.by_name key with
+    match Hashtbl.find_opt by_name key with
     | Some b -> b
     | None ->
         let b = Ident.Tbl.create 8 in
-        Hashtbl.replace store.by_name key b;
+        Hashtbl.replace by_name key b;
         b
   in
   Ident.Tbl.replace bucket cert_id record;
   store.valid <- store.valid + 1;
   record
 
-let find store cert_id = Ident.Tbl.find_opt store.records cert_id
+let find store cert_id = Ident.Tbl.find_opt (record_shard store cert_id).records cert_id
 
 let find_named store ~issuer ~name =
-  match Hashtbl.find_opt store.by_name (name_key ~issuer ~name) with
+  let key = name_key ~issuer ~name in
+  match Hashtbl.find_opt (name_shard store key).by_name key with
   | None -> []
   | Some bucket -> Ident.Tbl.fold (fun _ record acc -> record :: acc) bucket []
 
 let revoke store cert_id ~at ~reason =
-  match Ident.Tbl.find_opt store.records cert_id with
+  match find store cert_id with
   | Some record when is_valid record ->
       record.status <- Revoked { at; reason };
       store.valid <- store.valid - 1;
       Some record
   | Some _ | None -> None
 
-let count store = Ident.Tbl.length store.records
+let count store =
+  Array.fold_left (fun acc shard -> acc + Ident.Tbl.length shard.records) 0 store.shards
 
 let valid_count store = store.valid
 
-let iter store f = Ident.Tbl.iter (fun _ record -> f record) store.records
+let iter store f =
+  Array.iter (fun shard -> Ident.Tbl.iter (fun _ record -> f record) shard.records) store.shards

@@ -7,7 +7,12 @@
     A store holds the records of one issuing service. Each record names the
     event channel ({!topic}) on which the issuer announces invalidation, so
     remote caches and dependent roles can subscribe (the ECR proxies of
-    Fig. 5 are those subscriptions). *)
+    Fig. 5 are those subscriptions).
+
+    Storage is sharded sixteen ways by key hash (DESIGN.md §14): a store of
+    10^6 records pays per-shard hashtable resizes instead of store-wide
+    pauses, and lookups stay O(1) within a shard. The interface is
+    unchanged — sharding is invisible except to the allocator. *)
 
 type status =
   | Valid

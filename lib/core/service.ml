@@ -175,6 +175,10 @@ type t = {
   rmcs : issued_rmc Ident.Tbl.t;
   env_index : (string, issued_rmc Ident.Tbl.t) Hashtbl.t;
       (* predicate base name -> issued RMCs whose membership rule watches it *)
+  watchers_by_issuer : issued_rmc Ident.Tbl.t Ident.Tbl.t;
+      (* remote issuer -> issued RMCs holding a dependency on that issuer;
+         an issuer-unreachable sweep touches only its watchers, never the
+         whole RMC table *)
   appts : issued_appt Ident.Tbl.t;
   cache : Vcache.t;
   cache_watched : watch Ident.Tbl.t;  (* remote cert id -> invalidation watch *)
@@ -317,6 +321,40 @@ let unindex_env_watches t issued =
     issued.env_watch
 
 (* ------------------------------------------------------------------ *)
+(* The dependency reverse index (remote issuer -> watching RMCs)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror of the durable [issued.deps] lists, maintained on dependency
+   creation and role deactivation: an unreachable-issuer verdict must cost
+   the roles actually depending on that issuer, not a scan of every RMC the
+   service ever issued. Own-issuer dependencies are never indexed — local
+   state cannot be unreachable. *)
+let index_dep t issued dep =
+  if not (Ident.equal dep.dep_issuer t.sid) then begin
+    let bucket =
+      match Ident.Tbl.find_opt t.watchers_by_issuer dep.dep_issuer with
+      | Some b -> b
+      | None ->
+          let b = Ident.Tbl.create 8 in
+          Ident.Tbl.replace t.watchers_by_issuer dep.dep_issuer b;
+          b
+    in
+    Ident.Tbl.replace bucket issued.rmc.Rmc.id issued
+  end
+
+let unindex_deps t issued =
+  List.iter
+    (fun dep ->
+      if not (Ident.equal dep.dep_issuer t.sid) then
+        match Ident.Tbl.find_opt t.watchers_by_issuer dep.dep_issuer with
+        | None -> ()
+        | Some bucket ->
+            Ident.Tbl.remove bucket issued.rmc.Rmc.id;
+            if Ident.Tbl.length bucket = 0 then
+              Ident.Tbl.remove t.watchers_by_issuer dep.dep_issuer)
+    issued.deps
+
+(* ------------------------------------------------------------------ *)
 (* Revocation and cascading deactivation (Fig. 5)                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -371,6 +409,7 @@ let deactivate_rmc t (issued : issued_rmc) ~reason ~cascade =
       issued.watches <- [];
       unindex_env_watches t issued;
       issued.env_watch <- [];
+      unindex_deps t issued;
       announce_invalidation t record reason
 
 (* ------------------------------------------------------------------ *)
@@ -554,16 +593,18 @@ and reconcile_worker t issued =
    legacy configuration an unreachable issuer only fails the one request. *)
 let note_unreachable t issuer =
   if (not t.crashed) && t.config.suspect_grace > 0.0 && not (Ident.equal issuer t.sid) then
-    Ident.Tbl.iter
-      (fun _ issued ->
-        if
-          Cr.is_valid issued.record
-          && Option.is_none issued.suspect
-          && List.exists (fun d -> Ident.equal d.dep_issuer issuer) issued.deps
-        then
-          enter_suspect t issued
-            ~why:(Printf.sprintf "issuer %s unreachable" (Ident.to_string issuer)))
-      t.rmcs
+    match Ident.Tbl.find_opt t.watchers_by_issuer issuer with
+    | None -> ()
+    | Some bucket ->
+        (* Snapshot: entering suspect state can kick off reconciliation that
+           deactivates roles, which unindexes them from this very bucket. *)
+        let watchers = Ident.Tbl.fold (fun _ issued acc -> issued :: acc) bucket [] in
+        List.iter
+          (fun issued ->
+            if Cr.is_valid issued.record && Option.is_none issued.suspect then
+              enter_suspect t issued
+                ~why:(Printf.sprintf "issuer %s unreachable" (Ident.to_string issuer)))
+          watchers
 
 (* Remote validation with optional caching (Sect. 4, experiment E3).
 
@@ -899,6 +940,7 @@ let monitor_membership t (issued : issued_rmc) (proof : Solve.proof) =
   let watch_cred (cred : Solve.cred) =
     let dep = { dep_issuer = cred.issuer; dep_cert = cred.cred_id; dep_watch = None } in
     issued.deps <- dep :: issued.deps;
+    index_dep t issued dep;
     watch_dep t issued dep
   in
   List.iteri
@@ -1412,6 +1454,7 @@ let create world ~name ?(config = default_config) ?env ~policy () =
       crs = Cr.create_store ();
       rmcs = Ident.Tbl.create 64;
       env_index = Hashtbl.create 16;
+      watchers_by_issuer = Ident.Tbl.create 8;
       appts = Ident.Tbl.create 64;
       cache = Vcache.create ~obs ~labels ();
       cache_watched = Ident.Tbl.create 64;
@@ -1514,6 +1557,11 @@ let suspect_count t = List.length (suspect_roles t)
 let env_watcher_count t predicate =
   match Hashtbl.find_opt t.env_index (Env.base_name predicate) with
   | Some watchers -> Ident.Tbl.length watchers
+  | None -> 0
+
+let issuer_watcher_count t issuer =
+  match Ident.Tbl.find_opt t.watchers_by_issuer issuer with
+  | Some bucket -> Ident.Tbl.length bucket
   | None -> 0
 
 let roles_defined t = Hashtbl.fold (fun role _ acc -> role :: acc) t.activations [] |> List.sort compare

@@ -208,6 +208,12 @@ val env_watcher_count : t -> string -> int
     (membership-marked constraints only), read from the reverse index the
     fact-change hot path uses. A leading ['!'] is ignored. *)
 
+val issuer_watcher_count : t -> Oasis_util.Ident.t -> int
+(** How many issued RMCs currently hold a dependency on a credential of the
+    given remote issuer, read from the reverse index the unreachable-issuer
+    sweep uses ({!val-stats}: suspects): cost of that sweep is this count,
+    not the size of the RMC table. *)
+
 val roles_defined : t -> string list
 val privileges_defined : t -> string list
 

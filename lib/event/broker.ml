@@ -11,6 +11,23 @@ type 'a sub = {
   owner : Ident.t;
   callback : topic -> 'a -> unit;
   mutable active : bool;
+  (* The broker-wide publish count at unsubscribe time: lets a batched
+     delivery decide whether this subscriber was still active when the
+     publish it carries was issued (counts as suppressed) or had already
+     left (not addressed at all). *)
+  mutable unsub_pub : int;
+}
+
+(* Subscribers per topic in a growable array, appended in subscription
+   order. Unsubscribe only flags the entry (O(1)); flagged entries are
+   swept out by rebuilding the array once they outnumber the live ones.
+   In-flight deliveries keep the array they snapshotted — rebuilds install
+   a fresh array, never mutate the old one — so a publish's audience is
+   fixed at publish time without allocating a list copy. *)
+type 'a bucket = {
+  mutable arr : 'a sub array;
+  mutable blen : int;
+  mutable dead : int;
 }
 
 type subscription = { unsub : unit -> unit }
@@ -23,13 +40,14 @@ type 'a t = {
   obs : Obs.t;
   latency : float;
   jitter : float;
-  subs : (topic, 'a sub list ref) Hashtbl.t;
+  subs : (topic, 'a bucket) Hashtbl.t;
   (* Last retained publish per topic (source, payload): a tombstone a late
      subscriber can ask to have replayed. OASIS retains exactly one kind of
      event — a credential record's Invalidated notice, which is true forever
      once published. *)
   retained : (topic, Ident.t option * 'a) Hashtbl.t;
   mutable next_id : int;
+  mutable pub_count : int;
   (* Delivery filter consulted when a publish carries a source ident; the
      world wires this to [Fault.is_cut] so named partitions sever event
      channels exactly as they sever the network. *)
@@ -55,6 +73,7 @@ let create engine rng ~notify_latency ?(jitter = 0.0) ?obs () =
     subs = Hashtbl.create 64;
     retained = Hashtbl.create 16;
     next_id = 0;
+    pub_count = 0;
     filter = None;
     c_published = Obs.counter obs "broker.published";
     c_notified = Obs.counter obs "broker.notified";
@@ -64,13 +83,57 @@ let create engine rng ~notify_latency ?(jitter = 0.0) ?obs () =
 
 let obs t = t.obs
 
+let dummy_owner = Ident.make "sub" (-1)
+
+let dummy_sub : unit -> 'a sub =
+ fun () ->
+  {
+    id = -1;
+    sub_topic = "";
+    owner = dummy_owner;
+    callback = (fun _ _ -> ());
+    active = false;
+    unsub_pub = 0;
+  }
+
 let bucket t topic =
   match Hashtbl.find_opt t.subs topic with
   | Some b -> b
   | None ->
-      let b = ref [] in
+      let b = { arr = [||]; blen = 0; dead = 0 } in
       Hashtbl.replace t.subs topic b;
       b
+
+let bucket_push b sub =
+  let cap = Array.length b.arr in
+  if b.blen = cap then begin
+    let narr = Array.make (max 4 (2 * cap)) (dummy_sub ()) in
+    Array.blit b.arr 0 narr 0 b.blen;
+    b.arr <- narr
+  end;
+  b.arr.(b.blen) <- sub;
+  b.blen <- b.blen + 1
+
+(* Rebuild with only the live subscribers (fresh array: snapshots held by
+   in-flight deliveries must not shift under them). An emptied bucket is
+   dropped from the table entirely — topics are per-certificate, so dead
+   buckets would otherwise accumulate one per certificate ever watched. *)
+let compact_bucket t topic b =
+  let live = b.blen - b.dead in
+  if live = 0 then Hashtbl.remove t.subs topic
+  else begin
+    let narr = Array.make (max 4 live) (dummy_sub ()) in
+    let j = ref 0 in
+    for i = 0 to b.blen - 1 do
+      if b.arr.(i).active then begin
+        narr.(!j) <- b.arr.(i);
+        incr j
+      end
+    done;
+    b.arr <- narr;
+    b.blen <- live;
+    b.dead <- 0
+  end
 
 let unsubscribe _t subscription = subscription.unsub ()
 
@@ -85,41 +148,46 @@ let cut t src sub =
   | Some src, Some f -> f ~publisher:src ~owner:sub.owner
   | _ -> false
 
+(* The at-delivery-time body shared by the batched and per-subscriber
+   paths: partition filtering, accounting, callback. The caller has already
+   established that the subscriber was active when the publish was issued. *)
+let deliver t src sub payload =
+  if not sub.active then
+    (* The subscriber unsubscribed while this notification was in flight.
+       Account for it so published × subscribers = notified + suppressed
+       always holds. *)
+    Obs.Counter.inc t.c_suppressed
+  else if cut t src sub then begin
+    (* Partitioned at delivery time: the channel is severed, the
+       notification is lost like a network message. *)
+    Obs.Counter.inc t.c_suppressed_part;
+    if Obs.tracing t.obs then
+      Obs.event t.obs "broker.suppress"
+        ~labels:
+          [
+            ("cause", "partitioned");
+            ("topic", sub.sub_topic);
+            ("owner", Ident.to_string sub.owner);
+          ]
+  end
+  else begin
+    Obs.Counter.inc t.c_notified;
+    if Obs.tracing t.obs then
+      Obs.event t.obs "broker.notify"
+        ~labels:[ ("topic", sub.sub_topic); ("owner", Ident.to_string sub.owner) ];
+    sub.callback sub.sub_topic payload
+  end
+
 let schedule_delivery t src sub payload =
-  let topic = sub.sub_topic in
-  ignore
-    (Engine.schedule t.engine ~after:(delay t) (fun () ->
-         if not sub.active then
-           (* The subscriber unsubscribed while this notification was
-              in flight. Account for it so published × subscribers =
-              notified + suppressed always holds. *)
-           Obs.Counter.inc t.c_suppressed
-         else if cut t src sub then begin
-           (* Partitioned at delivery time: the channel is severed,
-              the notification is lost like a network message. *)
-           Obs.Counter.inc t.c_suppressed_part;
-           if Obs.tracing t.obs then
-             Obs.event t.obs "broker.suppress"
-               ~labels:
-                 [
-                   ("cause", "partitioned");
-                   ("topic", topic);
-                   ("owner", Ident.to_string sub.owner);
-                 ]
-         end
-         else begin
-           Obs.Counter.inc t.c_notified;
-           if Obs.tracing t.obs then
-             Obs.event t.obs "broker.notify"
-               ~labels:[ ("topic", topic); ("owner", Ident.to_string sub.owner) ];
-           sub.callback sub.sub_topic payload
-         end))
+  ignore (Engine.schedule t.engine ~after:(delay t) (fun () -> deliver t src sub payload))
 
 let subscribe ?(replay_retained = false) t topic ~owner callback =
-  let sub = { id = t.next_id; sub_topic = topic; owner; callback; active = true } in
+  let sub =
+    { id = t.next_id; sub_topic = topic; owner; callback; active = true; unsub_pub = 0 }
+  in
   t.next_id <- t.next_id + 1;
   let b = bucket t topic in
-  b := sub :: !b;
+  bucket_push b sub;
   (* A late subscriber asking for replay receives the topic's retained
      event as if it had just been published: same latency, same partition
      filtering at delivery time. *)
@@ -131,8 +199,12 @@ let subscribe ?(replay_retained = false) t topic ~owner callback =
   {
     unsub =
       (fun () ->
-        sub.active <- false;
-        b := List.filter (fun s -> s.id <> sub.id) !b);
+        if sub.active then begin
+          sub.active <- false;
+          sub.unsub_pub <- t.pub_count;
+          b.dead <- b.dead + 1;
+          if b.dead >= 8 && 2 * b.dead > b.blen then compact_bucket t topic b
+        end);
   }
 
 let retained t topic ~reader =
@@ -151,18 +223,44 @@ let retained t topic ~reader =
 
 let publish ?src ?(retain = false) t topic payload =
   Obs.Counter.inc t.c_published;
+  t.pub_count <- t.pub_count + 1;
   if Obs.tracing t.obs then Obs.event t.obs "broker.publish" ~labels:[ ("topic", topic) ];
   if retain then Hashtbl.replace t.retained topic (src, payload);
   match Hashtbl.find_opt t.subs topic with
   | None -> ()
   | Some b ->
-      (* Snapshot in subscription order; a subscriber added after this
-         publish must not see it (unless it opts into retained replay). *)
-      let snapshot = List.rev !b in
-      List.iter (fun sub -> schedule_delivery t src sub payload) snapshot
+      (* The audience is the bucket prefix [0, blen) as of now; a subscriber
+         added after this publish must not see it (unless it opts into
+         retained replay), and rebuilds never touch a snapshotted array. *)
+      let arr = b.arr and n = b.blen in
+      if n > 0 then
+        if t.jitter > 0.0 then
+          (* Jittered brokers draw an independent delay per delivery; keep
+             the per-subscriber events so the rng stream and the delivery
+             interleavings are unchanged. *)
+          for i = 0 to n - 1 do
+            let sub = arr.(i) in
+            if sub.active then schedule_delivery t src sub payload
+          done
+        else begin
+          (* Zero jitter: all deliveries land at the same instant anyway, so
+             fan out under one engine event instead of one per subscriber. *)
+          let pub_id = t.pub_count in
+          ignore
+            (Engine.schedule t.engine ~after:t.latency (fun () ->
+                 for i = 0 to n - 1 do
+                   let sub = arr.(i) in
+                   if sub.active then deliver t src sub payload
+                   else if sub.unsub_pub >= pub_id then
+                     (* Active when published, gone now: suppressed in
+                        flight. (If it left before this publish, it was
+                        never addressed.) *)
+                     Obs.Counter.inc t.c_suppressed
+                 done))
+        end
 
 let subscriber_count t topic =
-  match Hashtbl.find_opt t.subs topic with None -> 0 | Some b -> List.length !b
+  match Hashtbl.find_opt t.subs topic with None -> 0 | Some b -> b.blen - b.dead
 
 let stats t =
   {

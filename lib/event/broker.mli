@@ -52,10 +52,11 @@ val subscribe :
     the certificate's channel already carries a revocation tombstone. *)
 
 val unsubscribe : 'a t -> subscription -> unit
-(** Idempotent. Publishes in flight at unsubscribe time are suppressed at
-    delivery and counted under [stats.suppressed], so every scheduled
-    notification is accounted for: for each publish,
-    subscribers-at-publish-time = notified + suppressed. *)
+(** Idempotent, O(1) amortised: the entry is flagged and swept out of the
+    topic bucket once flagged entries outnumber live ones. Publishes in
+    flight at unsubscribe time are suppressed at delivery and counted under
+    [stats.suppressed], so every scheduled notification is accounted for:
+    for each publish, subscribers-at-publish-time = notified + suppressed. *)
 
 val publish : ?src:Oasis_util.Ident.t -> ?retain:bool -> 'a t -> topic -> 'a -> unit
 (** Callable from any context. Delivery order to distinct subscribers of one
@@ -66,7 +67,11 @@ val publish : ?src:Oasis_util.Ident.t -> ?retain:bool -> 'a t -> topic -> 'a -> 
     filtered. With [retain] (default off) the event also becomes the
     topic's retained event, replacing any previous one, for subscribers who
     ask for replay; retain it only for events that stay true forever, such
-    as a credential record's [Invalidated] notice. *)
+    as a credential record's [Invalidated] notice.
+
+    A publish allocates O(1): the audience is snapshotted by (array, length)
+    rather than a list copy, and on jitter-free brokers the whole fan-out
+    rides a single engine event instead of one per subscriber. *)
 
 val set_filter : 'a t -> (publisher:Oasis_util.Ident.t -> owner:Oasis_util.Ident.t -> bool) option -> unit
 (** Installs a delivery filter, consulted at delivery time for publishes

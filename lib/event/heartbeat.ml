@@ -1,21 +1,36 @@
 module Engine = Oasis_sim.Engine
 module Obs = Oasis_obs.Obs
 
-type emitter = { mutable running : bool; mutable beats : int }
+type emitter = {
+  mutable running : bool;
+  mutable beats : int;
+  mutable stop_timer : unit -> unit;
+}
 
 let start_emitter ?src broker engine ~topic ~period ~beat =
-  let emitter = { running = true; beats = 0 } in
+  let emitter = { running = true; beats = 0; stop_timer = (fun () -> ()) } in
   let c_beats = Obs.counter (Broker.obs broker) "hb.beats" in
-  Engine.every engine ~period (fun () ->
-      if emitter.running then begin
-        emitter.beats <- emitter.beats + 1;
-        Obs.Counter.inc c_beats;
-        Broker.publish ?src broker topic beat
-      end;
-      emitter.running);
+  let timer =
+    Engine.every engine ~period (fun () ->
+        if emitter.running then begin
+          emitter.beats <- emitter.beats + 1;
+          Obs.Counter.inc c_beats;
+          Broker.publish ?src broker topic beat
+        end;
+        emitter.running)
+  in
+  emitter.stop_timer <- (fun () -> Engine.cancel engine timer);
   emitter
 
-let stop_emitter emitter = emitter.running <- false
+(* Cancelling the recurring timer (not just flagging [running]) is what
+   keeps a decommissioned issuer from leaking one live periodic closure per
+   certificate it ever issued. *)
+let stop_emitter emitter =
+  if emitter.running then begin
+    emitter.running <- false;
+    emitter.stop_timer ();
+    emitter.stop_timer <- (fun () -> ())
+  end
 
 let beats_emitted emitter = emitter.beats
 

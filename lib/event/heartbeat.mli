@@ -24,7 +24,9 @@ val start_emitter :
 
 val stop_emitter : emitter -> unit
 (** Stopping models the issuer withdrawing the credential: beats cease and
-    monitors fire after their deadline. Idempotent. *)
+    monitors fire after their deadline. Idempotent. Cancels the underlying
+    recurring engine timer, so a stopped emitter holds no live closure — a
+    decommissioned issuer with 10^6 certificates frees all of them. *)
 
 val beats_emitted : emitter -> int
 

@@ -160,9 +160,10 @@ let test_monitor_accept_filter () =
        ~accept:(fun v -> v = 1)
        ~on_miss:(fun () -> missed := true));
   (* Publish only non-beat payloads: they must not count as beats. *)
-  Engine.every engine ~period:0.5 (fun () ->
-      Broker.publish broker "hb" 0;
-      Engine.now engine < 5.0);
+  ignore
+    (Engine.every engine ~period:0.5 (fun () ->
+         Broker.publish broker "hb" 0;
+         Engine.now engine < 5.0));
   Engine.run engine;
   Alcotest.(check bool) "filtered payloads miss" true !missed
 

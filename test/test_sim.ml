@@ -8,7 +8,7 @@ module Rng = Oasis_util.Rng
 (* ---------------- Heap ---------------- *)
 
 let test_heap_orders_by_time () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(-1) () in
   let rng = Rng.create 1 in
   for i = 0 to 199 do
     Heap.push h ~time:(Rng.float rng 100.0) ~seq:i i
@@ -23,7 +23,7 @@ let test_heap_orders_by_time () =
   Alcotest.(check int) "drained all" 200 (drain neg_infinity 0)
 
 let test_heap_ties_by_seq () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(-1) () in
   for i = 0 to 9 do
     Heap.push h ~time:1.0 ~seq:i i
   done;
@@ -36,7 +36,7 @@ let test_heap_ties_by_seq () =
   done
 
 let test_heap_empty () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:() () in
   Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
   Alcotest.(check bool) "pop none" true (Heap.pop h = None);
   Alcotest.(check bool) "peek none" true (Heap.peek_time h = None);
@@ -109,11 +109,38 @@ let test_engine_run_until_advances_idle_clock () =
 let test_engine_every () =
   let engine = Engine.create () in
   let count = ref 0 in
-  Engine.every engine ~period:1.0 (fun () ->
-      incr count;
-      !count < 5);
+  ignore
+    (Engine.every engine ~period:1.0 (fun () ->
+         incr count;
+         !count < 5));
   Engine.run engine;
   Alcotest.(check int) "stopped at false" 5 !count
+
+let test_engine_every_cancel () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let timer =
+    Engine.every engine ~period:1.0 (fun () ->
+        incr count;
+        true)
+  in
+  ignore (Engine.schedule engine ~after:3.5 (fun () -> Engine.cancel engine timer));
+  Engine.run engine;
+  Alcotest.(check int) "three ticks then cancelled" 3 !count
+
+let test_engine_every_cancel_from_callback () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let handle = ref None in
+  let timer =
+    Engine.every engine ~period:1.0 (fun () ->
+        incr count;
+        if !count = 2 then Engine.cancel engine (Option.get !handle);
+        true)
+  in
+  handle := Some timer;
+  Engine.run engine;
+  Alcotest.(check int) "stops when cancelled from within" 2 !count
 
 let test_engine_stats () =
   let engine = Engine.create () in
@@ -225,6 +252,8 @@ let suite =
       Alcotest.test_case "engine run_until" `Quick test_engine_run_until;
       Alcotest.test_case "engine run_until idle" `Quick test_engine_run_until_advances_idle_clock;
       Alcotest.test_case "engine every" `Quick test_engine_every;
+      Alcotest.test_case "engine every cancel" `Quick test_engine_every_cancel;
+      Alcotest.test_case "engine every cancel inside" `Quick test_engine_every_cancel_from_callback;
       Alcotest.test_case "engine stats" `Quick test_engine_stats;
       Alcotest.test_case "proc sleep order" `Quick test_proc_sleep_ordering;
       Alcotest.test_case "ivar fill then read" `Quick test_proc_ivar_fill_then_read;
