@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint analyze fuzz trace-smoke chaos check bench bench-scale doc clean examples
+.PHONY: all build test lint analyze fuzz trace-smoke trust-smoke chaos check bench bench-scale bench-trust doc clean examples
 
 all: build
 
@@ -39,6 +39,15 @@ fuzz: build
 trace-smoke: build
 	dune exec bin/oasisctl.exe -- trace scenarios/hospital.scn --check -o /dev/null
 
+# The trust/audit pipeline (DESIGN.md §15): E16 at smoke scale (live
+# score-gated revocation, collusion ablation, chain tamper drill), then
+# `oasisctl audit verify` proves the hospital scenario's decision chains
+# re-verify from genesis and that a single flipped bit is detected.
+trust-smoke: build
+	dune exec bench/main.exe -- E16 --smoke
+	dune exec bin/oasisctl.exe -- audit verify scenarios/hospital.scn
+	dune exec bin/oasisctl.exe -- audit verify scenarios/hospital.scn --tamper 1234
+
 # Randomised fault schedules (partitions, crash/restart, revocation)
 # against the DESIGN.md §11 safety properties, including the fail-open
 # test-of-the-test. Also part of `dune runtest` via the fault/chaos suites.
@@ -49,8 +58,8 @@ chaos: build
 # reachability-analyze the shipped policies, smoke the trace pipeline, run
 # the chaos harness and the analyzer/engine cross-check fuzzer, and smoke
 # the bench harness (single cheap iteration; proves the JSON emitters run).
-check: build test lint analyze trace-smoke chaos fuzz
-	dune exec bench/main.exe -- E9 E11 E12 E13 E15 --smoke
+check: build test lint analyze trace-smoke trust-smoke chaos fuzz
+	dune exec bench/main.exe -- E9 E11 E12 E13 E15 E16 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).
 bench:
@@ -61,6 +70,14 @@ bench:
 # churn, written to BENCH_scale.json.
 bench-scale:
 	dune exec bench/main.exe -- E15
+
+# Trust and audit (DESIGN.md §15): live score-gated revocation with the
+# Fig. 5 causal trace, collusion vs registrar discounting, the Byzantine
+# minority bound, and the 10^4-decision chain verify/tamper drill, written
+# to BENCH_trust.json. (Explicit target: `trust` is not an experiment name,
+# so the bench-% pattern must not catch this one.)
+bench-trust:
+	dune exec bench/main.exe -- E16
 
 # A subset, e.g. `make bench-E3 bench-E5`.
 bench-%:

@@ -20,6 +20,11 @@ module Civ = Oasis_domain.Civ
 module Sla = Oasis_domain.Sla
 module Anonymity = Oasis_domain.Anonymity
 module Simulation = Oasis_trust.Simulation
+module Audit = Oasis_trust.Audit
+module Assess = Oasis_trust.Assess
+module Registrar = Oasis_trust.Registrar
+module Dlog = Oasis_trust.Decision_log
+module Rng = Oasis_util.Rng
 module Rbac96 = Oasis_baseline.Rbac96
 module Delegation = Oasis_baseline.Delegation
 module Acl = Oasis_baseline.Acl
@@ -1506,11 +1511,223 @@ let e15 () =
   Printf.printf "\n  results written to BENCH_scale.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E16 — trust: score-gated revocation, collusion ablation, chain scale *)
+(* ------------------------------------------------------------------ *)
+
+(* Four measurements into BENCH_trust.json (DESIGN.md §15, Sect. 6):
+
+   (a) live score crossing — a role gated on [env:trust_score(u) >= 0.6]
+       collapses when breach certificates push the subject's score under
+       the gate, through the same env.change -> svc.recheck -> svc.revoke
+       trace path a fact change drives (E11's causal-order assertion);
+   (b) collusion ablation — the marketplace simulation with colluders
+       padding fabricated histories, with and without registrar
+       discounting: discounting collapses the rogue registrar's weight
+       and restores decision accuracy;
+   (c) Byzantine minority — a minority of breach-reporting registrars
+       cannot flip a proceed verdict backed by a majority of genuine
+       fulfilments: (s+1)/(s+f+2) > θ whenever s > f at equal weights;
+   (d) chain at scale — append 10^4 decisions, verify the full chain
+       (in memory and from the textual export), and prove a single
+       flipped bit anywhere in the export breaks verification. *)
+let e16 () =
+  header "E16 Trust: live audit trail, score-gated revocation, collusion ablation";
+  let smoke = !smoke_mode in
+
+  (* (a) the live crossing. Two fulfilled interactions lift the vendor to
+     (2+1)/(2+2) = 0.75 and the gate admits it; breaches then drag the
+     score under 0.6 and the trust-change poke revokes, no request in
+     flight. *)
+  let world = World.create ~seed:16 () in
+  let sink, captured = Obs.memory_sink () in
+  Obs.attach (World.obs world) sink;
+  let civ = Civ.create world ~name:"civ" () in
+  let svc =
+    Service.create world ~name:"market"
+      ~policy:"initial trusted(u) <- *env:trust_score(u) >= 0.6 ;" ()
+  in
+  let p = Principal.create world ~name:"vendor" in
+  let pid = Principal.id p and sid = Service.id svc in
+  let interact outcome =
+    ignore
+      (Civ.record_interaction civ ~client:pid ~server:sid ~client_outcome:outcome
+         ~server_outcome:Audit.Fulfilled);
+    World.settle world
+  in
+  interact Audit.Fulfilled;
+  interact Audit.Fulfilled;
+  World.run_proc world (fun () ->
+      let session = Principal.start_session p in
+      ignore
+        (ok (Principal.activate p session svc ~role:"trusted" ~args:[ Some (Value.Id pid) ] ())));
+  assert (List.length (Service.active_roles svc) = 1);
+  let score_at_grant = World.trust_score world pid in
+  let breaches = ref 0 in
+  while List.length (Service.active_roles svc) > 0 && !breaches < 10 do
+    incr breaches;
+    interact Audit.Breached
+  done;
+  assert (List.length (Service.active_roles svc) = 0);
+  let score_at_revoke = World.trust_score world pid in
+  let events = captured () in
+  let seq_of_first name =
+    match List.find_opt (fun (e : Obs.event) -> String.equal e.Obs.name name) events with
+    | Some e -> e.Obs.seq
+    | None -> failwith ("E16: no " ^ name ^ " event in the trace")
+  in
+  let revoke_seq = seq_of_first "svc.revoke" in
+  let last_before name limit =
+    List.fold_left
+      (fun acc (e : Obs.event) ->
+        if String.equal e.Obs.name name && e.Obs.seq < limit then Some e.Obs.seq else acc)
+      None events
+  in
+  let recheck_seq =
+    match last_before "svc.recheck" revoke_seq with
+    | Some s -> s
+    | None -> failwith "E16: no svc.recheck before the revocation"
+  in
+  let change_seq =
+    match last_before "env.change" recheck_seq with
+    | Some s -> s
+    | None -> failwith "E16: no env.change before the recheck"
+  in
+  assert (change_seq < recheck_seq && recheck_seq < revoke_seq);
+  Printf.printf
+    "  live crossing: granted at score %.3f, revoked at %.3f after %d breach(es)\n\
+    \  causal order OK: env.change #%d -> svc.recheck #%d -> svc.revoke #%d\n\n"
+    score_at_grant score_at_revoke !breaches change_seq recheck_seq revoke_seq;
+
+  (* (b) collusion, with and without discounting. *)
+  let rounds = if smoke then 8 else 30 in
+  let collusion discounting =
+    let params =
+      {
+        Simulation.default_params with
+        colluder_fraction = 0.3;
+        colluder_padding = 3;
+        rounds;
+        discounting;
+        seed = 16;
+      }
+    in
+    let r = Simulation.run params in
+    let last = List.nth r.Simulation.per_round (rounds - 1) in
+    (r.Simulation.final_accuracy, last.Simulation.mean_rogue_weight)
+  in
+  let acc_disc, rogue_disc = collusion true in
+  let acc_nodisc, rogue_nodisc = collusion false in
+  Printf.printf "  %-24s | %14s | %12s\n" "collusion (30% padded)" "final accuracy" "rogue weight";
+  Printf.printf "  %-24s | %14.3f | %12.3f\n" "discounting on" acc_disc rogue_disc;
+  Printf.printf "  %-24s | %14.3f | %12.3f\n\n" "discounting off" acc_nodisc rogue_nodisc;
+  assert (acc_disc >= acc_nodisc);
+  assert (rogue_disc < rogue_nodisc);
+
+  (* (c) a Byzantine minority of registrars reports breaches; the majority
+     history still clears the default 0.5 threshold. *)
+  let rng = Rng.create 16 in
+  let honest = Registrar.create rng ~name:"honest-dom" () in
+  let byz1 = Registrar.create rng ~name:"byz-1" () in
+  let byz2 = Registrar.create rng ~name:"byz-2" () in
+  let subject = Ident.make "subject" 0 and peer = Ident.make "peer" 0 in
+  let record reg outcome at =
+    Registrar.record_interaction reg ~client:subject ~server:peer ~at ~client_outcome:outcome
+      ~server_outcome:Audit.Fulfilled
+  in
+  let genuine = List.init 8 (fun i -> record honest Audit.Fulfilled (float_of_int i)) in
+  let smears =
+    [ record byz1 Audit.Breached 100.0; record byz2 Audit.Breached 101.0;
+      record byz1 Audit.Breached 102.0 ]
+  in
+  let assessor = Assess.create () in
+  let validate cert =
+    List.exists
+      (fun reg -> Ident.equal (Registrar.id reg) cert.Audit.registrar && Registrar.validate reg cert)
+      [ honest; byz1; byz2 ]
+  in
+  let verdict = Assess.assess assessor ~validate ~subject ~presented:(genuine @ smears) in
+  Printf.printf
+    "  Byzantine minority: 8 genuine fulfilments vs 3 smears -> score %.3f, proceed %b\n\n"
+    verdict.Assess.score verdict.Assess.proceed;
+  assert verdict.Assess.proceed;
+
+  (* (d) the chain at scale. *)
+  let n = if smoke then 1000 else 10000 in
+  let log = Dlog.create ~service:(Ident.make "market" 0) in
+  let t0 = Sys.time () in
+  for i = 0 to n - 1 do
+    ignore
+      (Dlog.append log ~at:(float_of_int i) ~decision:(if i mod 7 = 0 then Dlog.Deny else Dlog.Grant)
+         ~principal:pid
+         ~action:(Printf.sprintf "invoke:op%d" (i mod 13))
+         ~args:[ Value.Int i ]
+         ~rule:"priv op(u) <- trusted(u) ;"
+         ~creds:[ Ident.make "cert" i ]
+         ~env_facts:[ "trust_score(u, 0.6)" ] ())
+  done;
+  let append_s = Sys.time () -. t0 in
+  let verify_hist = Obs.histogram (World.obs world) "audit.verify_ms" in
+  let t0 = Sys.time () in
+  let verified = Dlog.verify log in
+  let verify_s = Sys.time () -. t0 in
+  Obs.Histogram.observe verify_hist (verify_s *. 1e3);
+  assert (verified = Ok n);
+  let exported = Dlog.export log in
+  let t0 = Sys.time () in
+  let reverified = Dlog.verify_string exported in
+  let reverify_s = Sys.time () -. t0 in
+  Obs.Histogram.observe verify_hist (reverify_s *. 1e3);
+  assert (reverified = Ok n);
+  (* Flip one bit at a handful of positions spread across the export —
+     header, early payload, a hash, the tail — every one must be caught. *)
+  let len = String.length exported in
+  let tamper_checks = [ 3; len / 5; len / 2; (len / 3) * 2; len - 2 ] in
+  let caught =
+    List.for_all
+      (fun byte -> Result.is_error (Dlog.verify_string (Dlog.tamper exported ~byte)))
+      tamper_checks
+  in
+  assert caught;
+  Printf.printf "  %-28s | %12s\n" "chain of 10^4 decisions" "seconds";
+  Printf.printf "  %-28s | %12.4f\n" (Printf.sprintf "append x%d" n) append_s;
+  Printf.printf "  %-28s | %12.4f\n" "verify (in memory)" verify_s;
+  Printf.printf "  %-28s | %12.4f\n" "verify (textual export)" reverify_s;
+  Printf.printf "  tamper drill: %d single-bit flips, all detected\n" (List.length tamper_checks);
+
+  let out = open_out "BENCH_trust.json" in
+  Printf.fprintf out
+    "{\n\
+    \  \"benchmark\": \"trust_audit\",\n\
+    \  \"generated_by\": \"dune exec bench/main.exe -- E16%s\",\n\
+    \  \"params\": { \"chain_records\": %d, \"collusion_rounds\": %d, \"smoke\": %b },\n\
+    \  \"claim\": \"trust-score crossings revoke live through the Fig. 5 trace path; registrar \
+     discounting defeats collusion; a Byzantine minority cannot flip a proceed verdict; one \
+     flipped bit anywhere in an exported decision chain breaks verification\",\n\
+    \  \"live_crossing\": { \"score_at_grant\": %.4f, \"score_at_revoke\": %.4f, \"breaches\": \
+     %d, \"env_change_seq\": %d, \"recheck_seq\": %d, \"revoke_seq\": %d },\n\
+    \  \"collusion\": {\n\
+    \    \"discounting_on\": { \"final_accuracy\": %.4f, \"rogue_weight\": %.4f },\n\
+    \    \"discounting_off\": { \"final_accuracy\": %.4f, \"rogue_weight\": %.4f }\n\
+    \  },\n\
+    \  \"byzantine_minority\": { \"genuine\": %d, \"smears\": %d, \"score\": %.4f, \"proceed\": \
+     %b },\n\
+    \  \"chain\": { \"records\": %d, \"append_seconds\": %.6f, \"verify_seconds\": %.6f, \
+     \"verify_export_seconds\": %.6f, \"tamper_flips\": %d, \"tamper_detected\": %b }\n\
+     }\n"
+    (if smoke then " --smoke" else "")
+    n rounds smoke score_at_grant score_at_revoke !breaches change_seq recheck_seq revoke_seq
+    acc_disc rogue_disc acc_nodisc rogue_nodisc (List.length genuine) (List.length smears)
+    verdict.Assess.score verdict.Assess.proceed n append_s verify_s reverify_s
+    (List.length tamper_checks) caught;
+  close_out out;
+  Printf.printf "\n  results written to BENCH_trust.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
-    ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15);
+    ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15); ("E16", e16);
   ]
 
 let () =

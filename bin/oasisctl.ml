@@ -623,6 +623,265 @@ let stats_cmd =
           JSONL timeline")
     Term.(const stats $ file)
 
+(* ---------------- audit ---------------- *)
+
+module Dlog = Oasis_trust.Decision_log
+
+(* Runs a scenario for its per-service decision logs; expectation failures
+   inside the scenario are reported but do not block auditing — the chains
+   are evidence either way. *)
+let scenario_chains file =
+  match Oasis_script.Scenario.run_file file with
+  | Error e ->
+      Format.eprintf "%a\n" Oasis_script.Scenario.pp_error e;
+      exit 1
+  | Ok outcome ->
+      List.iter
+        (fun f -> Printf.eprintf "note: scenario expectation failed: %s\n" f)
+        outcome.Oasis_script.Scenario.failures;
+      outcome.Oasis_script.Scenario.chains
+
+let pp_verdict name = function
+  | Ok n -> Printf.printf "%-20s %6d record(s)  chain intact\n" name n
+  | Error (seq, why) -> Printf.printf "%-20s chain BROKEN at record %d: %s\n" name seq why
+
+let audit_verify file tamper export_dir =
+  if Filename.check_suffix file ".scn" then begin
+    let chains = scenario_chains file in
+    if chains = [] then begin
+      Printf.eprintf "no services in %s\n" file;
+      exit 1
+    end;
+    (match export_dir with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (name, log) ->
+            let path = Filename.concat dir (name ^ ".audit") in
+            let oc = open_out path in
+            output_string oc (Dlog.export log);
+            close_out oc;
+            Printf.printf "exported %s\n" path)
+          chains);
+    match tamper with
+    | None ->
+        let ok = ref true in
+        List.iter
+          (fun (name, log) ->
+            let live = Dlog.verify log in
+            let offline = Dlog.verify_string (Dlog.export log) in
+            (match (live, offline) with
+            | Ok _, Error (seq, why) ->
+                (* The in-memory chain verifies but its export does not:
+                   a codec bug, not a tampered log — still a failure. *)
+                pp_verdict name (Error (seq, "export: " ^ why))
+            | _ -> pp_verdict name live);
+            if Result.is_error live || Result.is_error offline then ok := false)
+          chains;
+        if not !ok then exit 2
+    | Some byte ->
+        (* Adversary drill: flip one bit of each exported chain and prove
+           verification catches it. Exit 0 only if every flip is caught. *)
+        let all_caught = ref true in
+        List.iter
+          (fun (name, log) ->
+            let exported = Dlog.export log in
+            match Dlog.verify_string (Dlog.tamper exported ~byte) with
+            | Error (seq, why) ->
+                Printf.printf "%-20s tampered byte %d detected at record %d: %s\n" name
+                  (byte mod String.length exported)
+                  seq why
+            | Ok n ->
+                all_caught := false;
+                Printf.printf "%-20s UNDETECTED tamper (byte %d, %d record(s) still verify)\n"
+                  name byte n)
+          chains;
+        if not !all_caught then exit 2
+  end
+  else begin
+    (* A previously exported chain file: offline re-verification. *)
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let s = match tamper with None -> s | Some byte -> Dlog.tamper s ~byte in
+    match Dlog.verify_string s with
+    | Ok n ->
+        Printf.printf "%s: %d record(s), chain intact\n" file n;
+        if tamper <> None then begin
+          Printf.printf "UNDETECTED tamper\n";
+          exit 2
+        end
+    | Error (seq, why) ->
+        Printf.printf "%s: chain broken at record %d: %s\n" file seq why;
+        if tamper = None then exit 2
+  end
+
+let matches_filter svc_filter decision_filter principal_filter name (r : Dlog.record) =
+  (match svc_filter with None -> true | Some s -> String.equal s name)
+  && (match decision_filter with
+     | None -> true
+     | Some d -> String.equal d (Dlog.decision_label r.Dlog.decision))
+  && match principal_filter with
+     | None -> true
+     | Some p -> String.equal p (Oasis_util.Ident.to_string r.Dlog.principal)
+
+let audit_query file svc_filter decision_filter principal_filter limit =
+  let chains = scenario_chains file in
+  (match decision_filter with
+  | Some d when Dlog.decision_of_label d = None ->
+      Printf.eprintf "unknown decision %s (grant|deny|revoke|suspect|reconcile)\n" d;
+      exit 1
+  | _ -> ());
+  let shown = ref 0 in
+  Printf.printf "%-16s %4s %9s %-9s %-16s %-28s %s\n" "service" "seq" "at" "decision"
+    "principal" "action" "rule";
+  List.iter
+    (fun (name, log) ->
+      List.iter
+        (fun (r : Dlog.record) ->
+          if !shown < limit && matches_filter svc_filter decision_filter principal_filter name r
+          then begin
+            incr shown;
+            Printf.printf "%-16s %4d %9.3f %-9s %-16s %-28s %s\n" name r.Dlog.seq r.Dlog.at
+              (Dlog.decision_label r.Dlog.decision)
+              (Oasis_util.Ident.to_string r.Dlog.principal)
+              r.Dlog.action r.Dlog.rule
+          end)
+        (Dlog.records log))
+    chains;
+  Printf.printf "%d record(s)\n" !shown
+
+let audit_why file svc_filter seq cert =
+  let chains = scenario_chains file in
+  let chains =
+    match svc_filter with
+    | None -> chains
+    | Some s -> List.filter (fun (name, _) -> String.equal name s) chains
+  in
+  let wanted (r : Dlog.record) =
+    (match seq with None -> cert <> None | Some n -> r.Dlog.seq = n)
+    && match cert with
+       | None -> true
+       | Some id ->
+           List.exists (fun c -> String.equal id (Oasis_util.Ident.to_string c)) r.Dlog.creds
+  in
+  let found = ref false in
+  List.iter
+    (fun (name, log) ->
+      List.iter
+        (fun (r : Dlog.record) ->
+          if wanted r then begin
+            found := true;
+            Printf.printf "service:   %s\nseq:       %d\nat:        %.3f\ndecision:  %s\n" name
+              r.Dlog.seq r.Dlog.at
+              (Dlog.decision_label r.Dlog.decision);
+            Printf.printf "principal: %s\naction:    %s\n"
+              (Oasis_util.Ident.to_string r.Dlog.principal)
+              r.Dlog.action;
+            if r.Dlog.args <> [] then
+              Printf.printf "args:      %s\n"
+                (String.concat ", " (List.map Oasis_util.Value.to_string r.Dlog.args));
+            if r.Dlog.rule <> "" then Printf.printf "rule:      %s\n" r.Dlog.rule;
+            if r.Dlog.creds <> [] then
+              Printf.printf "creds:     %s\n"
+                (String.concat ", " (List.map Oasis_util.Ident.to_string r.Dlog.creds));
+            if r.Dlog.env_facts <> [] then
+              Printf.printf "env:       %s\n" (String.concat "; " r.Dlog.env_facts);
+            if r.Dlog.trace_seq > 0 then Printf.printf "trace-seq: %d\n" r.Dlog.trace_seq;
+            Printf.printf "prev:      %s\nhash:      %s\n\n"
+              (Oasis_crypto.Sha256.to_hex r.Dlog.prev)
+              (Oasis_crypto.Sha256.to_hex r.Dlog.hash)
+          end)
+        (Dlog.records log))
+    chains;
+  if not !found then begin
+    Printf.eprintf "no matching decision record\n";
+    exit 1
+  end
+
+let scn_arg doc = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let audit_verify_cmd =
+  let file =
+    scn_arg "Scenario (.scn) to run and audit, or a previously exported chain file."
+  in
+  let tamper =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tamper" ] ~docv:"BYTE"
+          ~doc:"Flip one bit of the exported chain at byte $(docv) and prove detection.")
+  in
+  let export_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "export" ] ~docv:"DIR"
+          ~doc:"Also write each service's chain to $(docv)/<service>.audit for offline audit.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-derive every hash of each service's decision chain from genesis; any mutated byte \
+          breaks verification")
+    Term.(const audit_verify $ file $ tamper $ export_dir)
+
+let audit_query_cmd =
+  let file = scn_arg "Scenario (.scn) to run and query." in
+  let svc =
+    Arg.(value & opt (some string) None & info [ "service" ] ~docv:"NAME" ~doc:"Only this service.")
+  in
+  let decision =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "decision" ] ~docv:"D" ~doc:"Only grant|deny|revoke|suspect|reconcile records.")
+  in
+  let principal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "principal" ] ~docv:"IDENT" ~doc:"Only decisions about this principal.")
+  in
+  let limit = Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"At most $(docv) rows.") in
+  Cmd.v
+    (Cmd.info "query" ~doc:"List decision records with their firing rule, filtered")
+    Term.(const audit_query $ file $ svc $ decision $ principal $ limit)
+
+let audit_why_cmd =
+  let file = scn_arg "Scenario (.scn) to run and explain." in
+  let svc =
+    Arg.(value & opt (some string) None & info [ "service" ] ~docv:"NAME" ~doc:"Only this service.")
+  in
+  let seq =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seq" ] ~docv:"N" ~doc:"The decision record at chain position $(docv).")
+  in
+  let cert =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ] ~docv:"IDENT"
+          ~doc:"Every decision supported by (or granting) this certificate.")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Full provenance of a decision: the rule that fired, supporting credentials, env facts, \
+          trace correlation and chain hashes")
+    Term.(const audit_why $ file $ svc $ seq $ cert)
+
+let audit_cmd =
+  Cmd.group
+    (Cmd.info "audit"
+       ~doc:
+         "Inspect and verify the hash-chained decision logs (DESIGN.md §15) a scenario's services \
+          accumulate")
+    [ audit_verify_cmd; audit_query_cmd; audit_why_cmd ]
+
 (* ---------------- keygen ---------------- *)
 
 let keygen seed =
@@ -643,4 +902,4 @@ let keygen_cmd =
 let () =
   let doc = "OASIS role-based access control — reproduction toolkit" in
   let info = Cmd.info "oasisctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ policy_check_cmd; lint_cmd; analyze_cmd; analyze_world_cmd; run_cmd; trace_cmd; stats_cmd; cascade_cmd; trust_cmd; keygen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ policy_check_cmd; lint_cmd; analyze_cmd; analyze_world_cmd; run_cmd; trace_cmd; stats_cmd; audit_cmd; cascade_cmd; trust_cmd; keygen_cmd ]))

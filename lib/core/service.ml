@@ -23,6 +23,7 @@ module Schnorr = Oasis_crypto.Schnorr
 module Signed = Oasis_cert.Signed
 module Challenge = Oasis_crypto.Challenge
 module Obs = Oasis_obs.Obs
+module Dlog = Oasis_trust.Decision_log
 
 let log = Logs.Src.create "oasis.service" ~doc:"OASIS service events"
 
@@ -183,6 +184,7 @@ type t = {
   cache : Vcache.t;
   cache_watched : watch Ident.Tbl.t;  (* remote cert id -> invalidation watch *)
   st : counters;
+  dlog : Dlog.t;
   mutable audit : audit_entry list;
   mutable crashed : bool;
   (* Reconciliation scheduler: at most [config.reconcile_batch] suspect
@@ -375,6 +377,37 @@ let cancel_suspect t issued =
       | None -> ());
       issued.suspect <- None
 
+(* Every access-control decision lands in the hash-chained per-service
+   decision log with its provenance, plus the audit.records counter. The
+   trace_seq snapshot correlates the record with the obs event emitted just
+   before it (0 while tracing is off). *)
+let log_decision t ~decision ~principal ~action ?(args = []) ?(rule = "") ?(creds = [])
+    ?(env_facts = []) () =
+  Obs.Counter.inc
+    (Obs.counter t.obs "audit.records"
+       ~labels:[ ("service", t.sname); ("decision", Dlog.decision_label decision) ]);
+  ignore
+    (Dlog.append t.dlog ~at:(World.now t.world) ~decision ~principal ~action ~args ~rule ~creds
+       ~env_facts ~trace_seq:(Obs.last_seq t.obs) ())
+
+let render_env_fact (name, args) =
+  if args = [] then name
+  else Printf.sprintf "%s(%s)" name (String.concat ", " (List.map Value.to_string args))
+
+let support_env_facts support =
+  List.filter_map
+    (function
+      | Solve.By_env (name, args) -> Some (render_env_fact (name, args))
+      | Solve.By_rmc _ | Solve.By_appointment _ -> None)
+    support
+
+let support_creds support =
+  List.filter_map
+    (function
+      | Solve.By_rmc (c : Solve.cred) | Solve.By_appointment c -> Some c.Solve.cred_id
+      | Solve.By_env _ -> None)
+    support
+
 let deactivate_rmc t (issued : issued_rmc) ~reason ~cascade =
   match Cr.revoke t.crs issued.rmc.Rmc.id ~at:(World.now t.world) ~reason with
   | None -> () (* already revoked *)
@@ -394,6 +427,11 @@ let deactivate_rmc t (issued : issued_rmc) ~reason ~cascade =
       Log.debug (fun m ->
           m "%s deactivates %s (%s): %s" t.sname (Ident.to_string issued.rmc.Rmc.id)
             issued.rmc.Rmc.role reason);
+      log_decision t ~decision:Dlog.Revoke ~principal:issued.ir_principal
+        ~action:("revoke:" ^ issued.rmc.Rmc.role) ~args:issued.rmc.Rmc.args ~rule:reason
+        ~creds:[ issued.rmc.Rmc.id ]
+        ~env_facts:(List.map render_env_fact issued.env_watch)
+        ();
       (match issued.beats with Some e -> Heartbeat.stop_emitter e | None -> ());
       issued.beats <- None;
       cancel_suspect t issued;
@@ -485,6 +523,9 @@ and enter_suspect t issued ~why =
   if (not t.crashed) && Option.is_none issued.suspect && Cr.is_valid issued.record then begin
     Obs.Counter.inc t.st.suspects;
     trace_role t "svc.suspect" issued [ ("why", why) ];
+    log_decision t ~decision:Dlog.Suspect ~principal:issued.ir_principal
+      ~action:("suspect:" ^ issued.rmc.Rmc.role) ~args:issued.rmc.Rmc.args ~rule:why
+      ~creds:[ issued.rmc.Rmc.id ] ();
     let s = { sus_timer = None } in
     issued.suspect <- Some s;
     let at = World.now t.world +. Float.max 0.0 t.config.suspect_grace in
@@ -565,6 +606,9 @@ and reconcile_worker t issued =
         cancel_suspect t issued;
         Obs.Counter.inc t.st.reconciled_revoked;
         trace_role t "svc.reconcile" issued [ ("outcome", "revoked") ];
+        log_decision t ~decision:Dlog.Reconcile ~principal:issued.ir_principal
+          ~action:("reconcile:" ^ issued.rmc.Rmc.role) ~args:issued.rmc.Rmc.args ~rule:"revoked"
+          ~creds:[ issued.rmc.Rmc.id ] ();
         deactivate_rmc t issued ~cascade:true
           ~reason:"reconciliation: supporting credential revoked at issuer"
       end
@@ -578,7 +622,10 @@ and reconcile_worker t issued =
         cancel_suspect t issued;
         List.iter (fun dep -> if Option.is_none dep.dep_watch then watch_dep t issued dep) issued.deps;
         Obs.Counter.inc t.st.reconciled_reinstated;
-        trace_role t "svc.reconcile" issued [ ("outcome", "reinstated") ]
+        trace_role t "svc.reconcile" issued [ ("outcome", "reinstated") ];
+        log_decision t ~decision:Dlog.Reconcile ~principal:issued.ir_principal
+          ~action:("reconcile:" ^ issued.rmc.Rmc.role) ~args:issued.rmc.Rmc.args
+          ~rule:"reinstated" ~creds:[ issued.rmc.Rmc.id ] ()
       end
     end
   in
@@ -1118,15 +1165,20 @@ let restart_node t =
 (* Request handling                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let record_audit t ~principal ~action ~args ~support =
-  let creds_used =
-    List.filter_map
-      (function
-        | Solve.By_rmc c | Solve.By_appointment c -> Some c.Solve.cred_id
-        | Solve.By_env _ -> None)
-      support
-  in
-  t.audit <- { at = World.now t.world; principal; action; args; creds_used } :: t.audit
+let record_audit t ?issued ~principal ~action ~args ~support ~rule () =
+  let creds_used = support_creds support in
+  t.audit <- { at = World.now t.world; principal; action; args; creds_used } :: t.audit;
+  (* A grant that mints a certificate leads with it, then the supporting
+     credentials — [oasisctl audit why --cert] finds either. *)
+  let creds = match issued with Some id -> id :: creds_used | None -> creds_used in
+  log_decision t ~decision:Dlog.Grant ~principal ~action ~args ~rule ~creds
+    ~env_facts:(support_env_facts support) ()
+
+(* Denials are decisions too: they enter the chain with the refusal reason
+   in the rule slot, so [oasisctl audit why] explains refusals as well as
+   grants. *)
+let record_denial t ~principal ~action ~reason =
+  log_decision t ~decision:Dlog.Deny ~principal ~action ~rule:reason ()
 
 let seed_from_requested (rule : Rule.activation) requested =
   (* Positional unification of the requested parameter pins. *)
@@ -1145,6 +1197,7 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
   match Hashtbl.find_opt t.activations role with
   | None ->
       Obs.Counter.inc t.st.activations_denied;
+      record_denial t ~principal ~action:("activate:" ^ role) ~reason:"unknown role";
       Protocol.Denied (Protocol.Unknown_role role)
   | Some rules ->
       let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
@@ -1154,6 +1207,7 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
       in
       if not challenge_ok then begin
         Obs.Counter.inc t.st.activations_denied;
+        record_denial t ~principal ~action:("activate:" ^ role) ~reason:"challenge failed";
         Protocol.Denied Protocol.Challenge_failed
       end
       else
@@ -1182,9 +1236,11 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
         | Error message ->
             Obs.Counter.inc t.st.activations_denied;
             Log.err (fun m -> m "%s: %s" t.sname message);
+            record_denial t ~principal ~action:("activate:" ^ role) ~reason:message;
             Protocol.Denied (Protocol.Bad_request message)
         | Ok None ->
             Obs.Counter.inc t.st.activations_denied;
+            record_denial t ~principal ~action:("activate:" ^ role) ~reason:"no proof";
             Protocol.Denied Protocol.No_proof
         | Ok (Some proof) ->
             let cert_id = World.fresh_cert_id t.world in
@@ -1221,8 +1277,10 @@ let handle_activate t ~src ~principal ~session_key ~role ~requested ~creds =
             in
             Ident.Tbl.replace t.rmcs cert_id issued;
             monitor_membership t issued proof;
-            record_audit t ~principal ~action:("activate:" ^ role) ~args:proof.role_args
-              ~support:proof.support;
+            record_audit t ~issued:cert_id ~principal ~action:("activate:" ^ role)
+              ~args:proof.role_args ~support:proof.support
+              ~rule:(Parser.print_statement (Parser.Activation proof.rule))
+              ();
             Obs.Counter.inc t.st.activations_granted;
             Log.debug (fun m ->
                 m "%s grants %s(%s) to %a" t.sname role
@@ -1245,7 +1303,10 @@ let solve_privilege ~obs ctx rules args =
                  (Some Term.Subst.empty) rule.priv_args args
              with
              | None -> None
-             | Some seed -> Solve.authorization ~obs ctx rule ~seed ())
+             | Some seed ->
+                 Option.map
+                   (fun (subst, support) -> (rule, subst, support))
+                   (Solve.authorization ~obs ctx rule ~seed ()))
          (Queue.to_seq rules))
   with
   | Env.Unknown_predicate p -> Error (Printf.sprintf "policy error: unknown predicate %s" p)
@@ -1256,6 +1317,7 @@ let handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds =
   match Hashtbl.find_opt t.authorizations privilege with
   | None ->
       Obs.Counter.inc t.st.invocations_denied;
+      record_denial t ~principal ~action:("invoke:" ^ privilege) ~reason:"unknown privilege";
       Protocol.Denied (Protocol.Unknown_privilege privilege)
   | Some rules ->
       let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
@@ -1265,6 +1327,7 @@ let handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds =
       in
       if not challenge_ok then begin
         Obs.Counter.inc t.st.invocations_denied;
+        record_denial t ~principal ~action:("invoke:" ^ privilege) ~reason:"challenge failed";
         Protocol.Denied Protocol.Challenge_failed
       end
       else
@@ -1272,12 +1335,16 @@ let handle_invoke t ~src ~principal ~session_key ~privilege ~args ~creds =
         | Error message ->
             Obs.Counter.inc t.st.invocations_denied;
             Log.err (fun m -> m "%s: %s" t.sname message);
+            record_denial t ~principal ~action:("invoke:" ^ privilege) ~reason:message;
             Protocol.Denied (Protocol.Bad_request message)
         | Ok None ->
             Obs.Counter.inc t.st.invocations_denied;
+            record_denial t ~principal ~action:("invoke:" ^ privilege) ~reason:"no proof";
             Protocol.Denied Protocol.No_proof
-        | Ok (Some (_subst, support)) ->
-            record_audit t ~principal ~action:privilege ~args ~support;
+        | Ok (Some (rule, _subst, support)) ->
+            record_audit t ~principal ~action:privilege ~args ~support
+              ~rule:(Parser.print_statement (Parser.Authorization rule))
+              ();
             Obs.Counter.inc t.st.invocations_granted;
             let result =
               match Hashtbl.find_opt t.operations privilege with
@@ -1291,6 +1358,7 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
   match Hashtbl.find_opt t.appointers kind with
   | None ->
       Obs.Counter.inc t.st.appointments_denied;
+      record_denial t ~principal ~action:("appoint:" ^ kind) ~reason:"unknown appointment kind";
       Protocol.Denied (Protocol.Unknown_privilege ("appoint:" ^ kind))
   | Some rules ->
       let rmc_creds, appt_creds = validate_presented t ~src ~session_key creds in
@@ -1300,6 +1368,7 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
       in
       if not challenge_ok then begin
         Obs.Counter.inc t.st.appointments_denied;
+        record_denial t ~principal ~action:("appoint:" ^ kind) ~reason:"challenge failed";
         Protocol.Denied Protocol.Challenge_failed
       end
       else
@@ -1307,11 +1376,13 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
         | Error message ->
             Obs.Counter.inc t.st.appointments_denied;
             Log.err (fun m -> m "%s: %s" t.sname message);
+            record_denial t ~principal ~action:("appoint:" ^ kind) ~reason:message;
             Protocol.Denied (Protocol.Bad_request message)
         | Ok None ->
             Obs.Counter.inc t.st.appointments_denied;
+            record_denial t ~principal ~action:("appoint:" ^ kind) ~reason:"no proof";
             Protocol.Denied Protocol.No_proof
-        | Ok (Some (_subst, support)) ->
+        | Ok (Some (rule, _subst, support)) ->
             let cert_id = World.fresh_cert_id t.world in
             let now = World.now t.world in
             let appt =
@@ -1339,7 +1410,9 @@ let handle_appoint t ~src ~principal ~session_key ~kind ~args ~holder ~holder_ke
                   (Engine.schedule_at (World.engine t.world) ~at (fun () ->
                        ignore (revoke_appt t ia ~reason:"expired")))
             | Some _ | None -> ());
-            record_audit t ~principal ~action:("appoint:" ^ kind) ~args ~support;
+            record_audit t ~issued:cert_id ~principal ~action:("appoint:" ^ kind) ~args ~support
+              ~rule:(Parser.print_statement (Parser.Appointer rule))
+              ();
             Obs.Counter.inc t.st.appointments_granted;
             Protocol.Appoint_ok appt
 
@@ -1481,6 +1554,7 @@ let create world ~name ?(config = default_config) ?env ~policy () =
           retries_validate = Obs.counter obs "rpc.retries" ~labels:[ ("site", "validate") ];
           retries_reconcile = Obs.counter obs "rpc.retries" ~labels:[ ("site", "reconcile") ];
         };
+      dlog = Dlog.create ~service:sid;
       audit = [];
       crashed = false;
       recon_running = 0;
@@ -1489,6 +1563,20 @@ let create world ~name ?(config = default_config) ?env ~policy () =
   in
   install_policy t (Parser.parse_exn policy);
   install_env_listener t;
+  (* Bridge the world's live trust assessor behind the [trust_score]
+     predicate (shadowing the fail-closed stub Env.create registered), and
+     re-check trust-gated roles whenever a score may have moved — the same
+     env-change→recheck→revoke chain fact changes drive. *)
+  Env.register t.env "trust_score" (fun args ->
+      match args with
+      | [ Value.Id subject; threshold ] -> (
+          match threshold with
+          | Value.Time thr -> World.trust_score world subject >= thr
+          | Value.Int thr -> World.trust_score world subject >= float_of_int thr
+          | Value.Str _ | Value.Bool _ | Value.Id _ -> false)
+      | _ -> false);
+  World.on_trust_change world (fun _subject ->
+      if not t.crashed then Env.poke t.env "trust_score");
   World.register_service world ~name sid;
   Oasis_sim.Network.add_node (World.network world) sid
     {
@@ -1570,6 +1658,7 @@ let privileges_defined t =
   Hashtbl.fold (fun privilege _ acc -> privilege :: acc) t.authorizations [] |> List.sort compare
 
 let audit_log t = t.audit
+let decision_log t = t.dlog
 
 let stats t =
   {

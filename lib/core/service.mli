@@ -230,6 +230,12 @@ type audit_entry = {
 val audit_log : t -> audit_entry list
 (** Newest first. *)
 
+val decision_log : t -> Oasis_trust.Decision_log.t
+(** The hash-chained decision log (DESIGN.md §15): every grant, deny,
+    revoke, suspect and reconcile decision this service has taken, with
+    the rule that fired, the credentials and env facts it rested on, and
+    the obs trace seq it correlates with. Surfaced by [oasisctl audit]. *)
+
 type stats = {
   activations_granted : int;
   activations_denied : int;

@@ -12,6 +12,17 @@ type monitoring =
   | Change_events
   | Heartbeats of heartbeat_config
 
+(* The world-owned trust state (Sect. 6): one assessor scoring every
+   party from the audit certificates in its wallet, validator callbacks
+   keyed by registrar, and listeners the active-security layer uses to
+   re-check trust-gated roles when a score may have moved. *)
+type trust = {
+  assessor : Oasis_trust.Assess.t;
+  wallets : Oasis_trust.History.t Ident.Tbl.t;
+  validators : (Oasis_trust.Audit.t -> bool) Ident.Tbl.t;
+  mutable trust_listeners : (Ident.t -> unit) list;
+}
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
@@ -27,6 +38,7 @@ type t = {
   service_gen : Ident.gen;
   principal_gen : Ident.gen;
   anon_gen : Ident.gen;
+  trust : trust;
 }
 
 let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_latency = 0.001)
@@ -65,6 +77,13 @@ let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_laten
     service_gen = Ident.generator "service";
     principal_gen = Ident.generator "principal";
     anon_gen = Ident.generator "anon";
+    trust =
+      {
+        assessor = Oasis_trust.Assess.create ();
+        wallets = Ident.Tbl.create 16;
+        validators = Ident.Tbl.create 4;
+        trust_listeners = [];
+      };
   }
 
 let engine t = t.engine
@@ -99,6 +118,67 @@ let run t = Engine.run t.engine
 let run_until t horizon = Engine.run_until t.engine horizon
 
 let settle ?(horizon = 1.0) t = Engine.run_until t.engine (Engine.now t.engine +. horizon)
+
+(* ------------------------------------------------------------------ *)
+(* Trust (Sect. 6): wallets, assessor, change propagation              *)
+(* ------------------------------------------------------------------ *)
+
+let assessor t = t.trust.assessor
+
+let wallet t party =
+  match Ident.Tbl.find_opt t.trust.wallets party with
+  | Some w -> w
+  | None ->
+      let w = Oasis_trust.History.create party in
+      Ident.Tbl.replace t.trust.wallets party w;
+      w
+
+let register_trust_validator t ~registrar f = Ident.Tbl.replace t.trust.validators registrar f
+
+let trust_validate t cert =
+  (* Fail closed: certificates from registrars nobody bridged in never
+     count as evidence. *)
+  match Ident.Tbl.find_opt t.trust.validators cert.Oasis_trust.Audit.registrar with
+  | Some f -> f cert
+  | None -> false
+
+let on_trust_change t f = t.trust.trust_listeners <- f :: t.trust.trust_listeners
+
+let notify_trust_change t subject =
+  List.iter (fun f -> f subject) (List.rev t.trust.trust_listeners)
+
+let assess t subject =
+  let presented = Oasis_trust.History.present (wallet t subject) in
+  let verdict =
+    Oasis_trust.Assess.assess t.trust.assessor ~validate:(trust_validate t) ~subject ~presented
+  in
+  Obs.Gauge.set
+    (Obs.gauge t.obs "trust.score" ~labels:[ ("subject", Ident.to_string subject) ])
+    verdict.Oasis_trust.Assess.score;
+  let bump cause n =
+    if n > 0 then
+      Obs.Counter.add (Obs.counter t.obs "trust.rejected" ~labels:[ ("cause", cause) ]) n
+  in
+  bump "not_about_subject" verdict.Oasis_trust.Assess.rejected_not_about_subject;
+  bump "validation_failed" verdict.Oasis_trust.Assess.rejected_validation_failed;
+  bump "duplicate" verdict.Oasis_trust.Assess.rejected_duplicate;
+  verdict
+
+let trust_score t subject = (assess t subject).Oasis_trust.Assess.score
+
+let trust_feedback t verdict ~actual =
+  Oasis_trust.Assess.feedback t.trust.assessor verdict ~actual;
+  (* Discounting moves registrar weights, which moves every score their
+     certificates contribute to; let watchers re-check. *)
+  notify_trust_change t verdict.Oasis_trust.Assess.subject
+
+let record_audit_certificate t cert =
+  let client = cert.Oasis_trust.Audit.client and server = cert.Oasis_trust.Audit.server in
+  Oasis_trust.History.add (wallet t client) cert;
+  Oasis_trust.History.add (wallet t server) cert;
+  Obs.Counter.inc (Obs.counter t.obs "trust.certificates");
+  notify_trust_change t client;
+  notify_trust_change t server
 
 let run_proc t f =
   let result = ref None in

@@ -82,6 +82,47 @@ val settle : ?horizon:float -> t -> unit
     such as certificate expiries. Use {!run} only when draining the whole
     timeline (including expiries) is intended. *)
 
+(** {1 Trust (Sect. 6)}
+
+    The world owns one {!Oasis_trust.Assess} instance and one certificate
+    wallet per party. CIVs push the audit certificates they issue into the
+    wallets with {!record_audit_certificate} and bridge their registrar in
+    with {!register_trust_validator}; services read scores through
+    {!trust_score} (the [trust_score(subject, θ)] env predicate) and
+    subscribe to {!on_trust_change} so a score crossing re-triggers the
+    env-watch recheck→revoke chain. *)
+
+val assessor : t -> Oasis_trust.Assess.t
+
+val wallet : t -> Oasis_util.Ident.t -> Oasis_trust.History.t
+(** The party's interaction-history wallet, created on first use. *)
+
+val register_trust_validator :
+  t -> registrar:Oasis_util.Ident.t -> (Oasis_trust.Audit.t -> bool) -> unit
+(** Routes validation of certificates naming [registrar] to [f].
+    Certificates from unregistered registrars fail validation (fail
+    closed). *)
+
+val record_audit_certificate : t -> Oasis_trust.Audit.t -> unit
+(** Files the certificate in both parties' wallets (deduplicated by id)
+    and notifies trust-change listeners for both. *)
+
+val assess : t -> Oasis_util.Ident.t -> Oasis_trust.Assess.verdict
+(** Scores a party from its wallet via the world assessor, updating the
+    [trust.score{subject=..}] gauge and [trust.rejected{cause=..}]
+    counters. *)
+
+val trust_score : t -> Oasis_util.Ident.t -> float
+(** [(assess t subject).score]. *)
+
+val trust_feedback : t -> Oasis_trust.Assess.verdict -> actual:Oasis_trust.Audit.outcome -> unit
+(** Reports an interaction's actual outcome against a prior verdict
+    (registrar discounting), then notifies trust-change listeners. *)
+
+val on_trust_change : t -> (Oasis_util.Ident.t -> unit) -> unit
+(** [f subject] runs synchronously whenever [subject]'s score may have
+    moved — a new certificate was filed or registrar weights shifted. *)
+
 val run_proc : t -> (unit -> 'a) -> 'a
 (** [run_proc t f] spawns [f] and executes engine events until [f]
     completes, then returns its result (leaving later-scheduled events —

@@ -202,6 +202,12 @@ let create world ~name ?(replicas = 3) ?(replication = Async) ?(offline_sign = t
     }
   in
   World.register_service world ~name router;
+  (* Bridge the embedded registrar into the world's trust layer: audit
+     certificates naming it validate through it, so wallet presentations
+     score live (fail-closed for unknown registrars). *)
+  World.register_trust_validator world
+    ~registrar:(Oasis_trust.Registrar.id t.audit)
+    (fun cert -> Oasis_trust.Registrar.validate t.audit cert);
   Network.add_node (World.network world) router (router_handler t);
   Array.iter
     (fun replica ->
@@ -330,8 +336,14 @@ let registrar t = t.audit
 
 let record_interaction t ~client ~server ~client_outcome ~server_outcome =
   if primary_down t then raise Primary_unavailable;
-  Oasis_trust.Registrar.record_interaction t.audit ~client ~server ~at:(World.now t.world)
-    ~client_outcome ~server_outcome
+  let cert =
+    Oasis_trust.Registrar.record_interaction t.audit ~client ~server ~at:(World.now t.world)
+      ~client_outcome ~server_outcome
+  in
+  (* Live issuance (Sect. 6): the certificate lands in both parties'
+     wallets immediately and trust-gated roles re-check. *)
+  World.record_audit_certificate t.world cert;
+  cert
 
 let validate_audit t cert = Oasis_trust.Registrar.validate t.audit cert
 

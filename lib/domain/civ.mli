@@ -107,7 +107,9 @@ val record_interaction :
   server_outcome:Oasis_trust.Audit.outcome ->
   Oasis_trust.Audit.t
 (** Issues the audit certificate for an interaction completed now (virtual
-    time), at the primary. Raises {!Primary_unavailable} when it is down. *)
+    time), at the primary, and files it live into both parties' wallets via
+    {!Oasis_core.World.record_audit_certificate} (trust-gated roles
+    re-check). Raises {!Primary_unavailable} when it is down. *)
 
 val validate_audit : t -> Oasis_trust.Audit.t -> bool
 

@@ -157,6 +157,8 @@ let emit t ~phase ~span ~labels name =
 
 let event t ?(labels = []) name = if t.tracing then emit t ~phase:Instant ~span:0 ~labels name
 
+let last_seq t = t.seq
+
 let span t ?(labels = []) name f =
   if not t.tracing then f ()
   else begin

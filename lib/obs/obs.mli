@@ -123,6 +123,12 @@ val detach_all : t -> unit
 val event : t -> ?labels:label list -> string -> unit
 (** Emits an [Instant] event; a no-op without sinks. *)
 
+val last_seq : t -> int
+(** Sequence number of the most recently emitted event; 0 before any event
+    (or while tracing is off). Decision-provenance records store this to
+    correlate an audit-log entry with the trace neighbourhood it was made
+    in. *)
+
 val span : t -> ?labels:label list -> string -> (unit -> 'a) -> 'a
 (** Runs the thunk between a [Begin] and an [End] event sharing a fresh
     span id; the [End] carries a ["wall_ms"] label with the wall-clock

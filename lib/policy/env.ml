@@ -39,8 +39,10 @@ let numeric_cmp op = function
    predicates depend only on their arguments: their truth value never
    changes spontaneously, so a membership mark on one is unmonitorable
    (nothing ever re-triggers the check). `Timed predicates read the clock
-   and are monitored by re-check timers. The linter consumes this list;
-   keep it in step with [register_builtins]. *)
+   and are monitored by re-check timers. `Live predicates read external
+   mutable state (the trust assessor); their owner announces changes with
+   [poke], so marks on them are monitorable without timers. The linter
+   consumes this list; keep it in step with [register_builtins]. *)
 let builtin_predicates =
   [
     ("eq", 2, `Pure);
@@ -52,6 +54,7 @@ let builtin_predicates =
     ("before", 1, `Timed);
     ("after", 1, `Timed);
     ("hour_between", 2, `Timed);
+    ("trust_score", 2, `Live);
   ]
 
 let register_builtins t =
@@ -77,7 +80,10 @@ let register_builtins t =
             in
             if lo <= hi then lo <= hour && hour < hi else hour >= lo || hour < hi
         | _ -> false)
-    | _ -> false)
+    | _ -> false);
+  (* Fail closed: until a live assessor is bridged in (Service.create
+     re-registers over this), no subject clears any trust threshold. *)
+  reg "trust_score" (fun _ -> false)
 
 let create clock =
   let t = { clock; facts = Hashtbl.create 64; computed = Hashtbl.create 16; listeners = [] } in
@@ -183,5 +189,10 @@ let next_change_time t name args =
   | _ -> None
 
 let on_change t listener = t.listeners <- listener :: t.listeners
+
+let poke t name =
+  if not (Hashtbl.mem t.computed name) then
+    invalid_arg (Printf.sprintf "Env.poke: %s is not a computed predicate" name);
+  notify t name [] `Asserted
 
 let fact_count t = Hashtbl.fold (fun _ b acc -> acc + Tuple_set.cardinal !b) t.facts 0

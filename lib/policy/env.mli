@@ -22,18 +22,23 @@ exception Unknown_predicate of string
 val create : Oasis_util.Clock.t -> t
 (** A fresh environment with the built-in computed predicates registered:
     [eq], [ne], [lt], [le], [gt], [ge] (binary, over comparable values),
-    [before(t)] (now < t), [after(t)] (now ≥ t), and
-    [hour_between(lo, hi)] (time of day, hours in 0–24, wrapping windows
-    allowed). *)
+    [before(t)] (now < t), [after(t)] (now ≥ t), [hour_between(lo, hi)]
+    (time of day, hours in 0–24, wrapping windows allowed), and
+    [trust_score(subject, threshold)] (live assessor score clears the
+    threshold; fail-closed [false] until a world bridges in its assessor
+    via {!register}). *)
 
 val clock : t -> Oasis_util.Clock.t
 
-val builtin_predicates : (string * int * [ `Pure | `Timed ]) list
+val builtin_predicates : (string * int * [ `Pure | `Timed | `Live ]) list
 (** The computed predicates {!create} registers, as [(name, arity, kind)].
     [`Pure] predicates depend only on their arguments — their truth value
     never changes spontaneously, so a membership mark on one cannot be
     monitored; [`Timed] predicates read the clock and are re-checked by
-    timers ({!next_change_time}). The policy linter keys its
+    timers ({!next_change_time}); [`Live] predicates read external mutable
+    state whose owner announces changes with {!poke} (the trust assessor
+    behind [trust_score(subject, threshold)]), so marks on them are
+    monitorable without timers. The policy linter keys its
     arity-consistency and unmonitorable-membership checks off this list. *)
 
 val declare_fact : t -> string -> unit
@@ -85,5 +90,13 @@ val on_change : t -> (string -> Oasis_util.Value.t list -> [ `Asserted | `Retrac
 (** Registers a listener for fact changes. Listeners run synchronously in
     assertion order; the active-security layer bridges them onto event
     channels. *)
+
+val poke : t -> string -> unit
+(** Announces that the truth value of a computed predicate may have
+    changed (e.g. live assessor state behind [trust_score] moved).
+    Listeners receive the base name with an empty tuple; watchers
+    re-evaluate their own stored ground instances, exactly as for fact
+    changes. Raises [Invalid_argument] if the name is not a computed
+    predicate — facts announce themselves. *)
 
 val fact_count : t -> int

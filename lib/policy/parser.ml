@@ -30,6 +30,7 @@ type token =
   | Tsemi
   | Tcolon
   | Tbang
+  | Tge (* '>=' — threshold sugar on env constraints *)
 
 exception Lex_error of int * string
 
@@ -71,6 +72,10 @@ let tokenize src =
     else if c = '!' then (push Tbang; incr i)
     else if c = '<' && !i + 1 < n && src.[!i + 1] = '-' then begin
       push Tarrow;
+      i := !i + 2
+    end
+    else if c = '>' && !i + 1 < n && src.[!i + 1] = '=' then begin
+      push Tge;
       i := !i + 2
     end
     else if c = '"' then begin
@@ -229,6 +234,16 @@ let condition st =
       let pred = ident st in
       let pred = if negated then "!" ^ pred else pred in
       let args = term_list st in
+      (* Threshold sugar: [env:trust_score(u) >= 0.6] is exactly
+         [env:trust_score(u, 0.6)] — the comparison lives inside the
+         predicate, the canonical printer emits the desugared form. *)
+      let args =
+        match peek st with
+        | Some Tge ->
+            advance st;
+            args @ [ term st ]
+        | _ -> args
+      in
       (monitored, Rule.Constraint (pred, args))
   | _, _ ->
       let args = term_list st in

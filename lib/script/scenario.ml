@@ -13,6 +13,7 @@ type outcome = {
   log : string list;
   failures : string list;
   metrics : (string * float) list;
+  chains : (string * Oasis_trust.Decision_log.t) list;
 }
 
 type error = { line : int; message : string }
@@ -448,6 +449,16 @@ let collect_policy ~header lines =
   in
   go lines []
 
+let comparator line op =
+  match op with
+  | "==" -> ( = )
+  | "!=" -> ( <> )
+  | "<=" -> ( <= )
+  | ">=" -> ( >= )
+  | "<" -> ( < )
+  | ">" -> ( > )
+  | _ -> fail line "bad comparison %s (use == != <= >= < >)" op
+
 (* expect-metric KEY OP VALUE over the world registry's rendered keys. *)
 let exec_expect_metric st line key op want =
   let w = world st line in
@@ -456,16 +467,7 @@ let exec_expect_metric st line key op want =
     | Some v -> v
     | None -> fail line "bad metric value %s" want
   in
-  let compare_fn =
-    match op with
-    | "==" -> ( = )
-    | "!=" -> ( <> )
-    | "<=" -> ( <= )
-    | ">=" -> ( >= )
-    | "<" -> ( < )
-    | ">" -> ( > )
-    | _ -> fail line "bad metric comparison %s (use == != <= >= < >)" op
-  in
+  let compare_fn = comparator line op in
   match Obs.value (World.obs w) key with
   | None ->
       st.failures <-
@@ -475,6 +477,60 @@ let exec_expect_metric st line key op want =
         st.failures <-
           Printf.sprintf "line %d: expected %s %s %g, found %g" line key op want got
           :: st.failures
+
+(* A party to an audited interaction: a declared principal, or a service
+   (servers earn trust scores too). *)
+let party st line name =
+  match Hashtbl.find_opt st.principals name with
+  | Some p -> Principal.id p
+  | None -> (
+      match Hashtbl.find_opt st.services name with
+      | Some svc -> Service.id svc
+      | None -> fail line "unknown party %s (declare a principal or service)" name)
+
+let parse_party_outcome line s =
+  match s with
+  | "fulfilled" -> Oasis_trust.Audit.Fulfilled
+  | "breached" -> Oasis_trust.Audit.Breached
+  | _ -> fail line "bad outcome %s (use fulfilled|breached)" s
+
+(* interact CLIENT SERVER CLIENT_OUTCOME [SERVER_OUTCOME] — the domain CIV's
+   registrar witnesses a contracted interaction (Sect. 6) and issues the
+   audit certificate live into both parties' wallets; trust-gated roles
+   re-check. One outcome token applies to both sides. *)
+let exec_interact st line = function
+  | ([ client; server; oc ] | [ client; server; oc; _ ]) as words ->
+      let client_outcome = parse_party_outcome line oc in
+      let server_outcome =
+        match words with
+        | [ _; _; _; os ] -> parse_party_outcome line os
+        | _ -> client_outcome
+      in
+      let c = party st line client and s = party st line server in
+      let cert =
+        try Civ.record_interaction (civ st line) ~client:c ~server:s ~client_outcome ~server_outcome
+        with Civ.Primary_unavailable -> fail line "interact: CIV primary is down"
+      in
+      say st "audit certificate %s: %s %s / %s %s" (Ident.to_string cert.Oasis_trust.Audit.id)
+        client oc server
+        (match server_outcome with Oasis_trust.Audit.Fulfilled -> "fulfilled" | _ -> "breached");
+      World.settle (world st line)
+  | _ -> fail line "interact takes CLIENT SERVER OUTCOME [OUTCOME]"
+
+(* expect-trust SUBJECT OP VALUE against the world assessor's live score. *)
+let exec_expect_trust st line subject op want =
+  let w = world st line in
+  let want =
+    match float_of_string_opt want with
+    | Some v -> v
+    | None -> fail line "bad trust value %s" want
+  in
+  let compare_fn = comparator line op in
+  let got = World.trust_score w (party st line subject) in
+  if not (compare_fn got want) then
+    st.failures <-
+      Printf.sprintf "line %d: expected trust(%s) %s %g, found %g" line subject op want got
+      :: st.failures
 
 let run_lines ?sink lines =
   let st = fresh_state ?sink () in
@@ -603,6 +659,12 @@ let run_lines ?sink lines =
                     svc_name got
                   :: st.failures;
               step rest
+          | "interact" :: tail ->
+              exec_interact st line tail;
+              step rest
+          | [ "expect-trust"; subject; op; v ] ->
+              exec_expect_trust st line subject op v;
+              step rest
           | [ "show"; svc_name ] ->
               show st line svc_name;
               step rest
@@ -613,7 +675,11 @@ let run_lines ?sink lines =
   let metrics =
     match st.world with Some w -> Obs.metric_values (World.obs w) | None -> []
   in
-  { log = List.rev st.log; failures = List.rev st.failures; metrics }
+  let chains =
+    Hashtbl.fold (fun name svc acc -> (name, Service.decision_log svc) :: acc) st.services []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { log = List.rev st.log; failures = List.rev st.failures; metrics; chains }
 
 let run_string ?sink source =
   let lines = String.split_on_char '\n' source |> List.mapi (fun i l -> (i + 1, l)) in

@@ -45,6 +45,16 @@
     fault restart hospital
     v}
 
+    Trust directives (DESIGN.md §15): [interact CLIENT SERVER OUTCOME
+    [OUTCOME]] has the domain CIV's registrar witness a contracted
+    interaction between two parties (principals or services) and issue the
+    Sect. 6 audit certificate live into both parties' wallets; outcomes are
+    [fulfilled]/[breached], and one token applies to both sides.
+    [expect-trust SUBJECT OP VALUE] checks the subject's live
+    beta-reputation score from the world assessor ([trust_score] env
+    predicates re-check on every new certificate, so breaches can revoke
+    trust-gated roles mid-scenario).
+
     [expect-metric KEY OP VALUE] checks a rendered registry key (see
     {!Oasis_obs.Obs.render_key}) against a number with one of [== != <= >=
     < >]; failures land in [outcome.failures] like any other expectation.
@@ -72,10 +82,14 @@
 type outcome = {
   log : string list;  (** human-readable trace, in execution order *)
   failures : string list;
-      (** failed [expect]/[expect-active]/[expect-metric] checks *)
+      (** failed [expect]/[expect-active]/[expect-metric]/[expect-trust]
+          checks *)
   metrics : (string * float) list;
       (** the world registry's final state, as rendered key/value pairs
           ({!Oasis_obs.Obs.metric_values}); empty if no world was created *)
+  chains : (string * Oasis_trust.Decision_log.t) list;
+      (** each service's hash-chained decision log (DESIGN.md §15), by
+          service name — what [oasisctl audit] verifies and queries *)
 }
 
 type error = { line : int; message : string }

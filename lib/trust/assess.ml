@@ -22,16 +22,24 @@ type verdict = {
   proceed : bool;
   evidence : (Audit.t * float) list;
   rejected : int;
+  rejected_not_about_subject : int;
+  rejected_validation_failed : int;
+  rejected_duplicate : int;
 }
 
 let assess t ~validate ~subject ~presented =
-  let evidence, rejected =
+  let seen = Ident.Tbl.create 16 in
+  let evidence, not_about, invalid, dup =
     List.fold_left
-      (fun (evidence, rejected) cert ->
-        if Audit.involves cert subject && validate cert then
-          ((cert, registrar_weight t cert.Audit.registrar) :: evidence, rejected)
-        else (evidence, rejected + 1))
-      ([], 0) presented
+      (fun (evidence, not_about, invalid, dup) cert ->
+        if Ident.Tbl.mem seen cert.Audit.id then (evidence, not_about, invalid, dup + 1)
+        else begin
+          Ident.Tbl.replace seen cert.Audit.id ();
+          if not (Audit.involves cert subject) then (evidence, not_about + 1, invalid, dup)
+          else if not (validate cert) then (evidence, not_about, invalid + 1, dup)
+          else ((cert, registrar_weight t cert.Audit.registrar) :: evidence, not_about, invalid, dup)
+        end)
+      ([], 0, 0, 0) presented
   in
   let successes, failures =
     List.fold_left
@@ -44,7 +52,16 @@ let assess t ~validate ~subject ~presented =
   in
   (* Beta-reputation point estimate with a uniform prior. *)
   let score = (successes +. 1.0) /. (successes +. failures +. 2.0) in
-  { subject; score; proceed = score >= t.thr; evidence; rejected }
+  {
+    subject;
+    score;
+    proceed = score >= t.thr;
+    evidence;
+    rejected = not_about + invalid + dup;
+    rejected_not_about_subject = not_about;
+    rejected_validation_failed = invalid;
+    rejected_duplicate = dup;
+  }
 
 let clamp lo hi x = Float.max lo (Float.min hi x)
 

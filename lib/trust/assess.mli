@@ -28,7 +28,10 @@ type verdict = {
   score : float;  (** beta estimate in (0, 1); 0.5 with no evidence *)
   proceed : bool;
   evidence : (Audit.t * float) list;  (** validated certificates and the weight each carried *)
-  rejected : int;  (** presented certificates that failed validation *)
+  rejected : int;  (** total presentations not counted; sum of the per-cause fields *)
+  rejected_not_about_subject : int;  (** certificate does not involve [subject] *)
+  rejected_validation_failed : int;  (** registrar refused to validate it *)
+  rejected_duplicate : int;  (** same certificate id presented again *)
 }
 
 val assess :
@@ -38,8 +41,9 @@ val assess :
   presented:Audit.t list ->
   verdict
 (** [validate] is the callback to the certificate's registrar (the caller
-    routes it; network or direct). Certificates not involving [subject]
-    count as rejected. *)
+    routes it; network or direct). Certificates not involving [subject],
+    failing validation, or repeating an already-presented certificate id
+    count as rejected, each under its own cause. *)
 
 val feedback : t -> verdict -> actual:Audit.outcome -> unit
 (** After proceeding, report how the counterparty actually behaved. If the

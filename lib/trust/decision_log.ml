@@ -1,0 +1,197 @@
+module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
+module Wire = Oasis_cert.Wire
+module Sha256 = Oasis_crypto.Sha256
+
+type decision = Grant | Deny | Revoke | Suspect | Reconcile
+
+let decision_label = function
+  | Grant -> "grant"
+  | Deny -> "deny"
+  | Revoke -> "revoke"
+  | Suspect -> "suspect"
+  | Reconcile -> "reconcile"
+
+let decision_of_label = function
+  | "grant" -> Some Grant
+  | "deny" -> Some Deny
+  | "revoke" -> Some Revoke
+  | "suspect" -> Some Suspect
+  | "reconcile" -> Some Reconcile
+  | _ -> None
+
+type record = {
+  seq : int;
+  at : float;
+  decision : decision;
+  principal : Ident.t;
+  action : string;
+  args : Value.t list;
+  rule : string;
+  creds : Ident.t list;
+  env_facts : string list;
+  trace_seq : int;
+  prev : Sha256.digest;
+  hash : Sha256.digest;
+}
+
+type t = {
+  owner : Ident.t;
+  mutable rev_records : record list; (* newest first *)
+  mutable length : int;
+  mutable head : Sha256.digest;
+}
+
+(* Binding the genesis digest to the service identifier means a chain
+   exported by one service can never verify as another's. *)
+let genesis owner = Sha256.digest_string ("oasis-decision-log:" ^ Ident.to_string owner)
+
+let create ~service = { owner = service; rev_records = []; length = 0; head = genesis service }
+
+let payload r =
+  Wire.encode "decision"
+    [
+      Wire.Fint r.seq;
+      Wire.Ffloat r.at;
+      Wire.Fstring (decision_label r.decision);
+      Wire.Fident r.principal;
+      Wire.Fstring r.action;
+      Wire.Fvalues r.args;
+      Wire.Fstring r.rule;
+      Wire.Fvalues (List.map (fun id -> Value.Id id) r.creds);
+      Wire.Fstring (String.concat ";" r.env_facts);
+      Wire.Fint r.trace_seq;
+    ]
+
+let chain_hash ~prev body = Sha256.digest_string (Sha256.to_raw_string prev ^ body)
+
+let append t ~at ~decision ~principal ~action ?(args = []) ?(rule = "") ?(creds = [])
+    ?(env_facts = []) ?(trace_seq = 0) () =
+  let r =
+    {
+      seq = t.length;
+      at;
+      decision;
+      principal;
+      action;
+      args;
+      rule;
+      creds;
+      env_facts;
+      trace_seq;
+      prev = t.head;
+      hash = t.head;
+    }
+  in
+  let r = { r with hash = chain_hash ~prev:t.head (payload r) } in
+  t.rev_records <- r :: t.rev_records;
+  t.length <- t.length + 1;
+  t.head <- r.hash;
+  r
+
+let service t = t.owner
+let length t = t.length
+let head t = t.head
+let records t = List.rev t.rev_records
+let find t ~seq = List.find_opt (fun r -> r.seq = seq) t.rev_records
+
+let verify t =
+  let rec go prev = function
+    | [] -> Ok t.length
+    | r :: rest ->
+        if not (Sha256.equal r.prev prev) then Error (r.seq, "prev-hash mismatch")
+        else if not (Sha256.equal r.hash (chain_hash ~prev (payload r))) then
+          Error (r.seq, "record hash mismatch")
+        else go r.hash rest
+  in
+  go (genesis t.owner) (records t)
+
+(* Textual export: hex payloads so the file survives editors and diffs, and
+   so a one-byte tamper is always visible to the verifier (bad hex parses
+   are failures too). *)
+
+let hex_of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let string_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    let digit c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | _ -> None
+    in
+    let buf = Buffer.create (n / 2) in
+    let rec go i =
+      if i >= n then Some (Buffer.contents buf)
+      else
+        match (digit s.[i], digit s.[i + 1]) with
+        | Some hi, Some lo ->
+            Buffer.add_char buf (Char.chr ((hi lsl 4) lor lo));
+            go (i + 2)
+        | _ -> None
+    in
+    go 0
+
+let header_magic = "oasis-decision-log v1 "
+
+let export t =
+  let buf = Buffer.create (256 * (t.length + 1)) in
+  Buffer.add_string buf header_magic;
+  Buffer.add_string buf (Ident.to_string t.owner);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (hex_of_string (payload r));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Sha256.to_hex r.hash);
+      Buffer.add_char buf '\n')
+    (records t);
+  Buffer.contents buf
+
+let verify_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> l <> "") lines in
+  match lines with
+  | [] -> Error (0, "empty chain file")
+  | header :: rest ->
+      let magic_len = String.length header_magic in
+      if
+        String.length header < magic_len
+        || not (String.equal (String.sub header 0 magic_len) header_magic)
+      then Error (0, "bad header")
+      else
+        let owner_s = String.sub header magic_len (String.length header - magic_len) in
+        (match Ident.of_string owner_s with
+        | None -> Error (0, "unparseable service identifier in header")
+        | Some owner ->
+            let rec go seq prev = function
+              | [] -> Ok seq
+              | line :: rest -> (
+                  match String.index_opt line ' ' with
+                  | None -> Error (seq, "malformed record line")
+                  | Some sp -> (
+                      let payload_hex = String.sub line 0 sp in
+                      let hash_hex = String.sub line (sp + 1) (String.length line - sp - 1) in
+                      match string_of_hex payload_hex with
+                      | None -> Error (seq, "payload is not valid hex")
+                      | Some body ->
+                          let expect = chain_hash ~prev body in
+                          if not (String.equal (Sha256.to_hex expect) hash_hex) then
+                            Error (seq, "chain hash mismatch")
+                          else go (seq + 1) expect rest))
+            in
+            go 0 (genesis owner) rest)
+
+let tamper s ~byte =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    let i = ((byte mod n) + n) mod n in
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b

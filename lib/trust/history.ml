@@ -1,12 +1,18 @@
 module Ident = Oasis_util.Ident
 
-type t = { owner : Ident.t; mutable certs : Audit.t list }
+type t = { owner : Ident.t; mutable certs : Audit.t list; seen : unit Ident.Tbl.t }
 
-let create owner = { owner; certs = [] }
+let create owner = { owner; certs = []; seen = Ident.Tbl.create 16 }
 
 let owner t = t.owner
 
-let add t cert = if Audit.involves cert t.owner then t.certs <- cert :: t.certs
+let add t cert =
+  (* Dedup by certificate id: re-presenting the same certificate must not
+     inflate the wallet (and hence the beta estimate downstream). *)
+  if Audit.involves cert t.owner && not (Ident.Tbl.mem t.seen cert.Audit.id) then begin
+    Ident.Tbl.replace t.seen cert.Audit.id ();
+    t.certs <- cert :: t.certs
+  end
 
 let present t = t.certs
 

@@ -13,7 +13,9 @@ val create : Oasis_util.Ident.t -> t
 val owner : t -> Oasis_util.Ident.t
 
 val add : t -> Audit.t -> unit
-(** Only certificates involving the owner are kept; others are ignored. *)
+(** Only certificates involving the owner are kept; others are ignored, as
+    is any certificate whose id the wallet already holds (re-presenting one
+    favourable certificate ten times must not count it ten times). *)
 
 val present : t -> Audit.t list
 (** Everything, newest first. *)

@@ -5,7 +5,9 @@ module Registrar = Oasis_trust.Registrar
 module History = Oasis_trust.History
 module Assess = Oasis_trust.Assess
 module Simulation = Oasis_trust.Simulation
+module Dlog = Oasis_trust.Decision_log
 module Ident = Oasis_util.Ident
+module Value = Oasis_util.Value
 module Rng = Oasis_util.Rng
 
 let client = Ident.make "client" 1
@@ -217,6 +219,155 @@ let test_simulation_validates_params () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* ---------------- deduplication (wallets and assessment) ---------------- *)
+
+(* Re-presenting one favourable certificate ten times must not count it ten
+   times — neither in the wallet nor in the assessment. *)
+let test_dedup_tenfold () =
+  let reg = registrar () in
+  let cert = record reg in
+  let wallet = History.create client in
+  for _ = 1 to 10 do
+    History.add wallet cert
+  done;
+  Alcotest.(check int) "wallet keeps one" 1 (History.size wallet);
+  let assessor = Assess.create () in
+  let validate = Registrar.validate reg in
+  let once = Assess.assess assessor ~validate ~subject:client ~presented:[ cert ] in
+  let padded =
+    Assess.assess assessor ~validate ~subject:client
+      ~presented:(List.init 10 (fun _ -> cert))
+  in
+  Alcotest.(check int) "one piece of evidence" 1 (List.length padded.Assess.evidence);
+  Alcotest.(check int) "nine duplicates rejected" 9 padded.Assess.rejected_duplicate;
+  Alcotest.(check (float 1e-9)) "score as if presented once" once.Assess.score padded.Assess.score
+
+let test_rejection_causes_split () =
+  let reg = registrar () in
+  let about_me = record reg in
+  let stranger_cert =
+    Registrar.record_interaction reg ~client:(Ident.make "x" 7) ~server ~at:2.0
+      ~client_outcome:Audit.Fulfilled ~server_outcome:Audit.Fulfilled
+  in
+  let forged = Audit.with_server_outcome (record reg ~at:3.0) Audit.Breached in
+  let v =
+    Assess.assess (Assess.create ()) ~validate:(Registrar.validate reg) ~subject:client
+      ~presented:[ about_me; about_me; stranger_cert; forged ]
+  in
+  Alcotest.(check int) "duplicate" 1 v.Assess.rejected_duplicate;
+  Alcotest.(check int) "not about subject" 1 v.Assess.rejected_not_about_subject;
+  Alcotest.(check int) "validation failed" 1 v.Assess.rejected_validation_failed;
+  Alcotest.(check int) "total is the sum" 3 v.Assess.rejected
+
+(* ---------------- decision log ---------------- *)
+
+let sample_log n =
+  let log = Dlog.create ~service:(Ident.make "svc" 1) in
+  for i = 0 to n - 1 do
+    ignore
+      (Dlog.append log ~at:(float_of_int i)
+         ~decision:(if i mod 3 = 0 then Dlog.Deny else Dlog.Grant)
+         ~principal:client
+         ~action:(Printf.sprintf "invoke:op%d" i)
+         ~args:[ Value.Int i; Value.Str "x" ]
+         ~rule:"priv op(u) <- r(u) ;"
+         ~creds:[ Ident.make "cert" i ]
+         ~env_facts:[ "f(u)" ] ())
+  done;
+  log
+
+let test_decision_log_roundtrip () =
+  let log = sample_log 20 in
+  Alcotest.(check bool) "verifies" true (Dlog.verify log = Ok 20);
+  let exported = Dlog.export log in
+  Alcotest.(check bool) "export verifies" true (Dlog.verify_string exported = Ok 20);
+  (match Dlog.find log ~seq:7 with
+  | Some r ->
+      Alcotest.(check string) "action survives" "invoke:op7" r.Dlog.action;
+      Alcotest.(check string) "rule survives" "priv op(u) <- r(u) ;" r.Dlog.rule
+  | None -> Alcotest.fail "seq 7 missing");
+  Alcotest.(check bool) "empty log verifies" true
+    (Dlog.verify (Dlog.create ~service:(Ident.make "svc" 2)) = Ok 0)
+
+(* ---------------- qcheck properties ---------------- *)
+
+(* One more fulfilled interaction never lowers the subject's score. *)
+let test_prop_score_monotone () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"extra fulfilment never lowers the score"
+       QCheck.(pair (int_range 0 20) (int_range 0 20))
+       (fun (fulfilled, breached) ->
+         let reg = registrar () in
+         let certs outcome n base =
+           List.init n (fun i ->
+               record reg ~at:(base +. float_of_int i) ~client_outcome:outcome)
+         in
+         let history =
+           certs Audit.Fulfilled fulfilled 0.0 @ certs Audit.Breached breached 100.0
+         in
+         let score presented =
+           (Assess.assess (Assess.create ()) ~validate:(Registrar.validate reg)
+              ~subject:client ~presented)
+             .Assess.score
+         in
+         let base = score history in
+         let more = score (record reg ~at:200.0 :: history) in
+         more >= base -. 1e-12))
+
+(* Presenting a history twice over changes nothing: dedup is idempotent. *)
+let test_prop_dedup_idempotent () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"assessment ignores re-presented certificates"
+       QCheck.(list_of_size (Gen.int_range 0 15) bool)
+       (fun outcomes ->
+         let reg = registrar () in
+         let history =
+           List.mapi
+             (fun i good ->
+               record reg ~at:(float_of_int i)
+                 ~client_outcome:(if good then Audit.Fulfilled else Audit.Breached))
+             outcomes
+         in
+         let verdict presented =
+           Assess.assess (Assess.create ()) ~validate:(Registrar.validate reg)
+             ~subject:client ~presented
+         in
+         let once = verdict history and twice = verdict (history @ history) in
+         Float.abs (once.Assess.score -. twice.Assess.score) < 1e-12
+         && List.length once.Assess.evidence = List.length twice.Assess.evidence
+         && twice.Assess.rejected_duplicate = List.length history))
+
+(* Whatever feedback arrives, a registrar's credibility stays clamped. *)
+let test_prop_weight_clamped () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"registrar weight stays within [0.01, 1.0]"
+       QCheck.(list_of_size (Gen.int_range 0 40) bool)
+       (fun actuals ->
+         let reg = registrar () in
+         let assessor = Assess.create () in
+         let history = [ record reg; record reg ~at:2.0 ] in
+         List.for_all
+           (fun breached ->
+             let v =
+               Assess.assess assessor ~validate:(Registrar.validate reg) ~subject:client
+                 ~presented:history
+             in
+             Assess.feedback assessor v
+               ~actual:(if breached then Audit.Breached else Audit.Fulfilled);
+             let w = Assess.registrar_weight assessor (Registrar.id reg) in
+             w >= 0.01 -. 1e-12 && w <= 1.0 +. 1e-12)
+           actuals))
+
+(* Flip any one byte of an exported chain and verification must fail. *)
+let test_prop_chain_tamper_detected () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"one flipped byte breaks chain verification"
+       QCheck.(pair (int_range 1 12) (int_range 0 1_000_000))
+       (fun (n, byte) ->
+         let exported = Dlog.export (sample_log n) in
+         Dlog.verify_string exported = Ok n
+         && Result.is_error (Dlog.verify_string (Dlog.tamper exported ~byte))))
+
 let suite =
   ( "trust",
     [
@@ -237,4 +388,11 @@ let suite =
       Alcotest.test_case "byzantine detection" `Slow test_simulation_detects_byzantine;
       Alcotest.test_case "collusion vs discounting" `Slow test_simulation_collusion_needs_discounting;
       Alcotest.test_case "parameter validation" `Quick test_simulation_validates_params;
+      Alcotest.test_case "tenfold re-presentation" `Quick test_dedup_tenfold;
+      Alcotest.test_case "rejection causes split" `Quick test_rejection_causes_split;
+      Alcotest.test_case "decision log roundtrip" `Quick test_decision_log_roundtrip;
+      Alcotest.test_case "score monotone (qcheck)" `Quick test_prop_score_monotone;
+      Alcotest.test_case "dedup idempotent (qcheck)" `Quick test_prop_dedup_idempotent;
+      Alcotest.test_case "weight clamped (qcheck)" `Quick test_prop_weight_clamped;
+      Alcotest.test_case "chain tamper detected (qcheck)" `Quick test_prop_chain_tamper_detected;
     ] )
