@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test lint analyze fuzz trace-smoke trust-smoke chaos check bench bench-scale bench-trust doc clean examples
+.PHONY: all build test lint analyze fuzz trace-smoke trust-smoke chaos chaos-trust check bench bench-scale bench-trust doc clean examples
 
 all: build
 
@@ -54,12 +54,20 @@ trust-smoke: build
 chaos: build
 	dune exec test/test_main.exe -- test chaos
 
+# Trust-churn chaos (DESIGN.md §16): randomised interaction schedules flap
+# a score across the hysteresis-banded gate while the registrar crashes
+# mid-issuance and the gate crash/restarts through its durable decision-log
+# chain. CHAOS_QUICK=1 trims seeds/steps but keeps every assertion,
+# including both ablations (δ=0 flaps more; fail-open admits tampering).
+chaos-trust: build
+	CHAOS_QUICK=1 dune exec test/test_main.exe -- test chaos-trust
+
 # The full gate: build everything, run the test suite, lint and
 # reachability-analyze the shipped policies, smoke the trace pipeline, run
 # the chaos harness and the analyzer/engine cross-check fuzzer, and smoke
 # the bench harness (single cheap iteration; proves the JSON emitters run).
-check: build test lint analyze trace-smoke trust-smoke chaos fuzz
-	dune exec bench/main.exe -- E9 E11 E12 E13 E15 E16 --smoke
+check: build test lint analyze trace-smoke trust-smoke chaos chaos-trust fuzz
+	dune exec bench/main.exe -- E9 E11 E12 E13 E15 E16 E17 --smoke
 
 # Regenerates every paper figure/scenario (see EXPERIMENTS.md).
 bench:

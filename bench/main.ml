@@ -25,6 +25,7 @@ module Assess = Oasis_trust.Assess
 module Registrar = Oasis_trust.Registrar
 module Dlog = Oasis_trust.Decision_log
 module Rng = Oasis_util.Rng
+module Churn = Oasis_script.Churn
 module Rbac96 = Oasis_baseline.Rbac96
 module Delegation = Oasis_baseline.Delegation
 module Acl = Oasis_baseline.Acl
@@ -1723,11 +1724,177 @@ let e16 () =
   Printf.printf "\n  results written to BENCH_trust.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E17 — trust robustness: O(1) decayed scoring, hysteresis, churn     *)
+(* ------------------------------------------------------------------ *)
+
+(* Four measurements into BENCH_trust_decay.json (DESIGN.md §16):
+
+   (a) scoring cost — fold 10^4 interactions into the per-subject running
+       aggregate (observe + cached_score each step, both O(1)) and compare
+       against the naive quadratic baseline that re-assesses the whole
+       wallet per interaction; the cached score must equal a full recompute
+       to 1e-9 and beat the naive per-interaction cost by 5x or more;
+   (b) hysteresis ablation — the same churn schedules with delta = 0 must
+       revoke strictly more often than with the band on;
+   (c) chain ablation — with the durable export tampered mid-run,
+       fail-closed restarts refuse every corrupted chain while the
+       fail-open ablation admits every one of them;
+   (d) the churn summary itself — interactions, mid-issuance crashes, gate
+       restarts and zero invariant violations across all seeds. *)
+let e17 () =
+  header "E17 Trust robustness: decayed scoring cost, hysteresis and fail-open ablations";
+  let smoke = !smoke_mode in
+
+  (* (a) incremental vs naive quadratic scoring. *)
+  let n = 10_000 in
+  let n_naive = if smoke then 300 else 2_000 in
+  let rng = Rng.create 17 in
+  let registrar = Registrar.create rng ~name:"civ-reg" () in
+  let subject = Ident.make "subject" 0 and peer = Ident.make "peer" 0 in
+  let at i = float_of_int i in
+  let certs =
+    Array.init n (fun i ->
+        Registrar.record_interaction registrar ~client:subject ~server:peer ~at:(at i)
+          ~client_outcome:(if i mod 5 = 0 then Audit.Breached else Audit.Fulfilled)
+          ~server_outcome:Audit.Fulfilled)
+  in
+  let validate _ = true in
+  let lambda = 0.002 in
+  let fast = Assess.create ~decay_rate:lambda () in
+  (* A remembered assess over the (still empty) wallet seeds the running
+     aggregate; from then on every interaction is one [observe] plus one
+     [cached_score] — no wallet traversal. *)
+  ignore (Assess.assess_at ~remember:true fast ~now:0.0 ~validate ~subject ~presented:[]);
+  let t0 = Sys.time () in
+  Array.iteri
+    (fun i c ->
+      Assess.observe fast ~subject ~now:(at i) c;
+      ignore (Assess.cached_score fast ~subject ~now:(at i)))
+    certs;
+  let incr_s = Sys.time () -. t0 in
+  let naive = Assess.create ~decay_rate:lambda () in
+  let wallet = ref [] in
+  let t0 = Sys.time () in
+  for i = 0 to n_naive - 1 do
+    wallet := certs.(i) :: !wallet;
+    ignore (Assess.assess_at naive ~now:(at i) ~validate ~subject ~presented:!wallet)
+  done;
+  let naive_s = Sys.time () -. t0 in
+  let last = at (n - 1) in
+  let cached =
+    match Assess.cached_score fast ~subject ~now:last with
+    | Some s -> s
+    | None -> failwith "E17: no cached score after 10^4 observations"
+  in
+  let full =
+    (Assess.assess_at
+       (Assess.create ~decay_rate:lambda ())
+       ~now:last ~validate ~subject ~presented:(Array.to_list certs))
+      .Assess.score
+  in
+  let delta = Float.abs (cached -. full) in
+  assert (delta < 1e-9);
+  let per_incr = incr_s /. float_of_int n in
+  let per_naive = naive_s /. float_of_int n_naive in
+  (* The non-quadratic claim: the naive baseline's per-interaction cost is
+     proportional to the wallet (avg n_naive/2 certificates); the running
+     aggregate's is constant. 5x is a very loose floor for that gap. *)
+  assert (per_incr *. 5.0 < per_naive);
+  Printf.printf "  %-38s | %12s | %14s\n" "scoring 10^4 interactions" "total s" "per-interaction";
+  Printf.printf "  %-38s | %12.4f | %14.2e\n"
+    (Printf.sprintf "running aggregate (x%d)" n)
+    incr_s per_incr;
+  Printf.printf "  %-38s | %12.4f | %14.2e\n"
+    (Printf.sprintf "naive full re-assess (x%d)" n_naive)
+    naive_s per_naive;
+  Printf.printf "  cached vs full recompute at t=%.0f: |%.9f - %.9f| = %.1e\n\n" last cached full
+    delta;
+
+  (* (b)-(d) the churn harness, banded vs flappy, fail-closed vs fail-open. *)
+  let n_seeds = if smoke then 6 else 12 in
+  let steps = if smoke then 20 else 30 in
+  let seeds = List.init n_seeds (fun i -> i + 1) in
+  let churn ~band ~tamper ~fail_open seed =
+    Churn.run
+      { Churn.default_config with seed; steps; band; tamper; fail_open_chain = fail_open }
+  in
+  let banded = List.map (churn ~band:0.1 ~tamper:false ~fail_open:false) seeds in
+  let flappy = List.map (churn ~band:0.0 ~tamper:false ~fail_open:false) seeds in
+  let sum f l = List.fold_left (fun acc s -> acc + f s) 0 l in
+  let deacts = sum (fun (s : Churn.summary) -> s.Churn.cascade_deactivations) in
+  let violations = sum (fun (s : Churn.summary) -> List.length s.Churn.violations) in
+  assert (violations banded = 0);
+  assert (violations flappy = 0);
+  let banded_deacts = deacts banded and flappy_deacts = deacts flappy in
+  let suppressed = sum (fun (s : Churn.summary) -> s.Churn.flaps_suppressed) banded in
+  assert (suppressed > 0);
+  assert (flappy_deacts > banded_deacts);
+  Printf.printf "  %-38s | %12s | %12s\n" "hysteresis ablation" "revocations" "flaps held";
+  Printf.printf "  %-38s | %12d | %12d\n" "band 0.10" banded_deacts suppressed;
+  Printf.printf "  %-38s | %12d | %12d\n\n" "band 0.00 (ablation)" flappy_deacts 0;
+  let closed = List.map (churn ~band:0.1 ~tamper:true ~fail_open:false) seeds in
+  let opened = List.map (churn ~band:0.1 ~tamper:true ~fail_open:true) seeds in
+  let count f l = List.length (List.filter f l) in
+  let tampered_closed = count (fun (s : Churn.summary) -> s.Churn.tampered) closed in
+  let detected =
+    count (fun (s : Churn.summary) -> s.Churn.tampered && s.Churn.tamper_detected) closed
+  in
+  let tampered_open = count (fun (s : Churn.summary) -> s.Churn.tampered) opened in
+  let admitted =
+    count (fun (s : Churn.summary) -> s.Churn.tampered && not s.Churn.tamper_detected) opened
+  in
+  assert (violations closed = 0);
+  assert (tampered_closed > 0);
+  assert (detected = tampered_closed);
+  assert (tampered_open > 0);
+  assert (admitted = tampered_open);
+  Printf.printf "  %-38s | %12s | %12s\n" "durable-chain tamper drill" "tampered" "outcome";
+  Printf.printf "  %-38s | %12d | %9d refused\n" "fail-closed resume" tampered_closed detected;
+  Printf.printf "  %-38s | %12d | %9d admitted\n\n" "fail-open ablation" tampered_open admitted;
+  let interactions = sum (fun (s : Churn.summary) -> s.Churn.interactions) banded in
+  let mid_crashes = sum (fun (s : Churn.summary) -> s.Churn.mid_crashes) banded in
+  let gate_restarts = sum (fun (s : Churn.summary) -> s.Churn.gate_restarts) banded in
+  let grants = sum (fun (s : Churn.summary) -> s.Churn.grants) banded in
+  Printf.printf
+    "  churn over %d seeds x %d steps: %d interactions, %d mid-issuance crashes, %d gate \
+     restarts, %d grants, 0 violations\n"
+    n_seeds steps interactions mid_crashes gate_restarts grants;
+
+  let out = open_out "BENCH_trust_decay.json" in
+  Printf.fprintf out
+    "{\n\
+    \  \"benchmark\": \"trust_decay\",\n\
+    \  \"generated_by\": \"dune exec bench/main.exe -- E17%s\",\n\
+    \  \"params\": { \"interactions\": %d, \"naive_interactions\": %d, \"decay_rate\": %.4f, \
+     \"seeds\": %d, \"steps\": %d, \"smoke\": %b },\n\
+    \  \"claim\": \"per-subject running aggregates score 10^4 decayed interactions in O(1) each \
+     and match a full recompute; the hysteresis band strictly reduces revocations under churn; \
+     fail-closed restarts refuse every tampered durable chain while the fail-open ablation \
+     admits them all\",\n\
+    \  \"scoring\": { \"interactions\": %d, \"aggregate_seconds\": %.6f, \
+     \"aggregate_per_interaction\": %.3e, \"naive_interactions\": %d, \"naive_seconds\": %.6f, \
+     \"naive_per_interaction\": %.3e, \"cached_vs_full_delta\": %.3e },\n\
+    \  \"hysteresis\": { \"band\": 0.10, \"banded_revocations\": %d, \"flappy_revocations\": %d, \
+     \"flaps_suppressed\": %d },\n\
+    \  \"chain\": { \"tampered_runs\": %d, \"fail_closed_refused\": %d, \"fail_open_admitted\": \
+     %d },\n\
+    \  \"churn\": { \"seeds\": %d, \"steps\": %d, \"interactions\": %d, \"mid_issuance_crashes\": \
+     %d, \"gate_restarts\": %d, \"grants\": %d, \"violations\": %d }\n\
+     }\n"
+    (if smoke then " --smoke" else "")
+    n n_naive lambda n_seeds steps smoke n incr_s per_incr n_naive naive_s per_naive delta
+    banded_deacts flappy_deacts suppressed tampered_closed detected admitted n_seeds steps
+    interactions mid_crashes gate_restarts grants (violations banded);
+  close_out out;
+  Printf.printf "\n  results written to BENCH_trust_decay.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E11", e11); ("E12", e12); ("E13", e13); ("E15", e15); ("E16", e16);
+    ("E17", e17);
   ]
 
 let () =

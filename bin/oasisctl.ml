@@ -717,40 +717,81 @@ let audit_verify file tamper export_dir =
         if tamper = None then exit 2
   end
 
-let matches_filter svc_filter decision_filter principal_filter name (r : Dlog.record) =
+let matches_filter svc_filter decision_filter principal_filter since name (r : Dlog.record) =
   (match svc_filter with None -> true | Some s -> String.equal s name)
   && (match decision_filter with
      | None -> true
      | Some d -> String.equal d (Dlog.decision_label r.Dlog.decision))
-  && match principal_filter with
+  && (match principal_filter with
      | None -> true
-     | Some p -> String.equal p (Oasis_util.Ident.to_string r.Dlog.principal)
+     | Some p -> String.equal p (Oasis_util.Ident.to_string r.Dlog.principal))
+  && match since with None -> true | Some t -> r.Dlog.at >= t
 
-let audit_query file svc_filter decision_filter principal_filter limit =
+(* Same escaping as Lint.to_json / Reach.to_json machine output. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let record_json name (r : Dlog.record) =
+  Printf.sprintf
+    "{\"service\":%s,\"seq\":%d,\"at\":%.3f,\"decision\":%s,\"principal\":%s,\"action\":%s,\"rule\":%s,\"creds\":[%s],\"hash\":%s}"
+    (json_string name) r.Dlog.seq r.Dlog.at
+    (json_string (Dlog.decision_label r.Dlog.decision))
+    (json_string (Oasis_util.Ident.to_string r.Dlog.principal))
+    (json_string r.Dlog.action) (json_string r.Dlog.rule)
+    (String.concat ","
+       (List.map (fun c -> json_string (Oasis_util.Ident.to_string c)) r.Dlog.creds))
+    (json_string (Oasis_crypto.Sha256.to_hex r.Dlog.hash))
+
+let audit_query file svc_filter decision_filter principal_filter since limit json =
   let chains = scenario_chains file in
   (match decision_filter with
   | Some d when Dlog.decision_of_label d = None ->
       Printf.eprintf "unknown decision %s (grant|deny|revoke|suspect|reconcile)\n" d;
       exit 1
   | _ -> ());
-  let shown = ref 0 in
-  Printf.printf "%-16s %4s %9s %-9s %-16s %-28s %s\n" "service" "seq" "at" "decision"
-    "principal" "action" "rule";
+  let selected = ref [] in
   List.iter
     (fun (name, log) ->
       List.iter
         (fun (r : Dlog.record) ->
-          if !shown < limit && matches_filter svc_filter decision_filter principal_filter name r
-          then begin
-            incr shown;
-            Printf.printf "%-16s %4d %9.3f %-9s %-16s %-28s %s\n" name r.Dlog.seq r.Dlog.at
-              (Dlog.decision_label r.Dlog.decision)
-              (Oasis_util.Ident.to_string r.Dlog.principal)
-              r.Dlog.action r.Dlog.rule
-          end)
+          if
+            List.length !selected < limit
+            && matches_filter svc_filter decision_filter principal_filter since name r
+          then selected := (name, r) :: !selected)
         (Dlog.records log))
     chains;
-  Printf.printf "%d record(s)\n" !shown
+  let selected = List.rev !selected in
+  if json then
+    print_endline
+      (Printf.sprintf "{\"records\":[%s],\"count\":%d}"
+         (String.concat "," (List.map (fun (name, r) -> record_json name r) selected))
+         (List.length selected))
+  else begin
+    Printf.printf "%-16s %4s %9s %-9s %-16s %-28s %s\n" "service" "seq" "at" "decision"
+      "principal" "action" "rule";
+    List.iter
+      (fun (name, (r : Dlog.record)) ->
+        Printf.printf "%-16s %4d %9.3f %-9s %-16s %-28s %s\n" name r.Dlog.seq r.Dlog.at
+          (Dlog.decision_label r.Dlog.decision)
+          (Oasis_util.Ident.to_string r.Dlog.principal)
+          r.Dlog.action r.Dlog.rule)
+      selected;
+    Printf.printf "%d record(s)\n" (List.length selected)
+  end
 
 let audit_why file svc_filter seq cert =
   let chains = scenario_chains file in
@@ -844,10 +885,18 @@ let audit_query_cmd =
       & opt (some string) None
       & info [ "principal" ] ~docv:"IDENT" ~doc:"Only decisions about this principal.")
   in
+  let since =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "since" ] ~docv:"TIME"
+          ~doc:"Only decisions at or after virtual time $(docv) (seconds).")
+  in
   let limit = Arg.(value & opt int 200 & info [ "limit" ] ~docv:"N" ~doc:"At most $(docv) rows.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON report.") in
   Cmd.v
     (Cmd.info "query" ~doc:"List decision records with their firing rule, filtered")
-    Term.(const audit_query $ file $ svc $ decision $ principal $ limit)
+    Term.(const audit_query $ file $ svc $ decision $ principal $ since $ limit $ json)
 
 let audit_why_cmd =
   let file = scn_arg "Scenario (.scn) to run and explain." in

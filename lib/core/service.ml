@@ -41,6 +41,7 @@ type config = {
   index_env_watches : bool;
   strict_install : bool;
   offline_verify : bool;
+  fail_open_chain : bool;
 }
 
 let default_config =
@@ -58,6 +59,9 @@ let default_config =
     index_env_watches = true;
     strict_install = true;
     offline_verify = true;
+    (* Restart refuses to build on a durable decision-log chain that fails
+       verification; [true] is the ablation that resumes blindly. *)
+    fail_open_chain = false;
   }
 
 type audit_entry = {
@@ -135,6 +139,7 @@ type counters = {
   reconciled_revoked : Obs.Counter.t;
   retries_validate : Obs.Counter.t;
   retries_reconcile : Obs.Counter.t;
+  flaps_suppressed : Obs.Counter.t;
 }
 
 type stats = {
@@ -154,6 +159,7 @@ type stats = {
   suspects : int;
   reconciled_reinstated : int;
   reconciled_revoked : int;
+  flaps_suppressed : int;
   cache : Vcache.stats;
 }
 
@@ -184,7 +190,7 @@ type t = {
   cache : Vcache.t;
   cache_watched : watch Ident.Tbl.t;  (* remote cert id -> invalidation watch *)
   st : counters;
-  dlog : Dlog.t;
+  mutable dlog : Dlog.t; (* replaced by the durable-resume on restart *)
   mutable audit : audit_entry list;
   mutable crashed : bool;
   (* Reconciliation scheduler: at most [config.reconcile_batch] suspect
@@ -377,6 +383,13 @@ let cancel_suspect t issued =
       | None -> ());
       issued.suspect <- None
 
+(* The decision-log chain is mirrored into the world's durable store under
+   this key: the header once at creation, then one export line per
+   appended record (incremental — the write cost per decision is that
+   line, never the chain). Restart resumes from the blob; see
+   [resume_chain]. *)
+let chain_key t = "dlog:" ^ Ident.to_string t.sid
+
 (* Every access-control decision lands in the hash-chained per-service
    decision log with its provenance, plus the audit.records counter. The
    trace_seq snapshot correlates the record with the obs event emitted just
@@ -386,9 +399,11 @@ let log_decision t ~decision ~principal ~action ?(args = []) ?(rule = "") ?(cred
   Obs.Counter.inc
     (Obs.counter t.obs "audit.records"
        ~labels:[ ("service", t.sname); ("decision", Dlog.decision_label decision) ]);
-  ignore
-    (Dlog.append t.dlog ~at:(World.now t.world) ~decision ~principal ~action ~args ~rule ~creds
-       ~env_facts ~trace_seq:(Obs.last_seq t.obs) ())
+  let r =
+    Dlog.append t.dlog ~at:(World.now t.world) ~decision ~principal ~action ~args ~rule ~creds
+      ~env_facts ~trace_seq:(Obs.last_seq t.obs) ()
+  in
+  Durable.append (World.durable t.world) (chain_key t) (Dlog.export_line r)
 
 let render_env_fact (name, args) =
   if args = [] then name
@@ -960,6 +975,24 @@ let start_beats t record =
    re-check at the earliest possible flip. One timer slot per constraint —
    re-arming replaces the pending handle rather than growing the watch list
    without bound. Also used by restart to rebuild timers. *)
+
+(* Membership re-checks distinguish granting from holding: a predicate
+   with a registered hold variant (gate hysteresis, DESIGN.md §16) keeps
+   an existing membership alive inside the band even though a fresh
+   activation would be denied — a score dithering around the threshold
+   must not thrash the revoke cascade. Each retained membership counts as
+   a suppressed flap. *)
+let env_watch_holds t (name, args) =
+  if Env.check t.env name args then true
+  else if Env.check_hold t.env name args then begin
+    Obs.Counter.inc t.st.flaps_suppressed;
+    if Obs.tracing t.obs then
+      Obs.event t.obs "svc.flap_suppressed"
+        ~labels:[ ("service", t.sname); ("pred", Env.base_name name) ];
+    true
+  end
+  else false
+
 let arm_env_timer t (issued : issued_rmc) (name, args) =
   match Env.next_change_time t.env name args with
   | None -> ()
@@ -971,7 +1004,7 @@ let arm_env_timer t (issued : issued_rmc) (name, args) =
             (Engine.schedule_at (World.engine t.world) ~at:(at +. 1e-9) (fun () ->
                  slot := None;
                  if Cr.is_valid issued.record then
-                   if not (Env.check t.env name args) then
+                   if not (env_watch_holds t (name, args)) then
                      deactivate_rmc t issued ~cascade:true
                        ~reason:(Printf.sprintf "constraint %s no longer holds" name)
                    else
@@ -1033,7 +1066,7 @@ let recheck_env_watches t issued changed_name =
       if
         String.equal (Env.base_name name) changed_name
         && Cr.is_valid issued.record
-        && not (Env.check t.env name args)
+        && not (env_watch_holds t (name, args))
       then
         deactivate_rmc t issued ~cascade:true
           ~reason:(Printf.sprintf "constraint %s no longer holds" name))
@@ -1111,14 +1144,45 @@ let crash_node t =
   (* Running reconcile workers notice [t.crashed] at their next step and
      exit through the normal path, releasing their batch slots. *)
 
+exception Chain_tampered of { service : string; seq : int; why : string }
+
+(* Resume the decision-log chain from its durable mirror: re-verify every
+   line and continue appending from the verified head. Verification
+   failure means the "disk" was tampered with (or truncated mid-line)
+   while the node was down; a fail-closed service refuses to restart on it
+   — building new decisions onto a forged prefix would launder the
+   forgery. The [fail_open_chain] ablation keeps the in-memory chain and
+   skips verification, which is exactly how tampering goes unnoticed
+   (demonstrated in bench E17). *)
+let resume_chain t =
+  if not t.config.fail_open_chain then
+    match Durable.get (World.durable t.world) (chain_key t) with
+    | None -> () (* never wrote anything durable: nothing to resume *)
+    | Some blob -> (
+        let outcome label =
+          Obs.Counter.inc
+            (Obs.counter t.obs "audit.chain"
+               ~labels:[ ("service", t.sname); ("outcome", label) ])
+        in
+        match Dlog.resume ~service:t.sid blob with
+        | Ok dlog ->
+            outcome "resumed";
+            t.dlog <- dlog
+        | Error (seq, why) ->
+            outcome "tampered";
+            raise (Chain_tampered { service = t.sname; seq; why }))
+
 (* Restart rebuilds the active-security machinery from durable records:
    emitters resume for valid certificates, env constraints are re-checked
    (changes missed while down deactivate now), own-issuer prerequisites are
    verified locally, and every role resting on a remote credential becomes
    suspect until anti-entropy reconciliation re-validates it — invalidations
    announced while we were down were never delivered, so trusting the old
-   watch state would be fail-open. *)
+   watch state would be fail-open. The durable decision-log chain resumes
+   first: if it fails verification the service stays crashed and
+   {!Chain_tampered} propagates. *)
 let restart_node t =
+  resume_chain t;
   t.crashed <- false;
   Ident.Tbl.iter
     (fun _ ia ->
@@ -1137,7 +1201,7 @@ let restart_node t =
           not
             (List.for_all
                (fun (name, args) ->
-                 match Env.check t.env name args with
+                 match env_watch_holds t (name, args) with
                  | ok -> ok
                  | exception Env.Unknown_predicate _ -> false)
                issued.env_watch)
@@ -1553,6 +1617,7 @@ let create world ~name ?(config = default_config) ?env ~policy () =
             Obs.counter obs "svc.reconciled" ~labels:(("outcome", "revoked") :: labels);
           retries_validate = Obs.counter obs "rpc.retries" ~labels:[ ("site", "validate") ];
           retries_reconcile = Obs.counter obs "rpc.retries" ~labels:[ ("site", "reconcile") ];
+          flaps_suppressed = Obs.counter obs "trust.flaps_suppressed" ~labels;
         };
       dlog = Dlog.create ~service:sid;
       audit = [];
@@ -1561,19 +1626,41 @@ let create world ~name ?(config = default_config) ?env ~policy () =
       recon_queue = Queue.create ();
     }
   in
+  (* Seed the chain's durable mirror: the header once, then every logged
+     decision appends its own line (see [log_decision]). *)
+  Durable.set (World.durable world) (chain_key t) (Dlog.export_header t.dlog);
   install_policy t (Parser.parse_exn policy);
   install_env_listener t;
   (* Bridge the world's live trust assessor behind the [trust_score]
      predicate (shadowing the fail-closed stub Env.create registered), and
      re-check trust-gated roles whenever a score may have moved — the same
-     env-change→recheck→revoke chain fact changes drive. *)
+     env-change→recheck→revoke chain fact changes drive. The grant check
+     demands the full threshold whatever the arity; the hold check (asked
+     only for existing memberships, [env_watch_holds]) accepts the
+     hysteresis band when a third argument supplies one. *)
+  let as_threshold = function
+    | Value.Time thr -> Some thr
+    | Value.Int thr -> Some (float_of_int thr)
+    | Value.Str _ | Value.Bool _ | Value.Id _ -> None
+  in
+  let score_at_least subject threshold =
+    match as_threshold threshold with
+    | Some thr -> World.trust_score world subject >= thr
+    | None -> false
+  in
   Env.register t.env "trust_score" (fun args ->
       match args with
-      | [ Value.Id subject; threshold ] -> (
-          match threshold with
-          | Value.Time thr -> World.trust_score world subject >= thr
-          | Value.Int thr -> World.trust_score world subject >= float_of_int thr
-          | Value.Str _ | Value.Bool _ | Value.Id _ -> false)
+      | [ Value.Id subject; threshold ] | [ Value.Id subject; threshold; _ ] ->
+          score_at_least subject threshold
+      | _ -> false);
+  Env.register_hold t.env "trust_score" (fun args ->
+      match args with
+      | [ Value.Id subject; threshold ] -> score_at_least subject threshold
+      | [ Value.Id subject; threshold; band ] -> (
+          match (as_threshold threshold, as_threshold band) with
+          | Some thr, Some delta ->
+              World.trust_score world subject >= thr -. Float.max 0.0 delta
+          | _ -> false)
       | _ -> false);
   World.on_trust_change world (fun _subject ->
       if not t.crashed then Env.poke t.env "trust_score");
@@ -1678,6 +1765,7 @@ let stats t =
     suspects = Obs.Counter.value t.st.suspects;
     reconciled_reinstated = Obs.Counter.value t.st.reconciled_reinstated;
     reconciled_revoked = Obs.Counter.value t.st.reconciled_revoked;
+    flaps_suppressed = Obs.Counter.value t.st.flaps_suppressed;
     cache = Vcache.stats t.cache;
   }
 
@@ -1698,4 +1786,5 @@ let reset_stats t =
   Obs.Counter.reset t.st.suspects;
   Obs.Counter.reset t.st.reconciled_reinstated;
   Obs.Counter.reset t.st.reconciled_revoked;
+  Obs.Counter.reset t.st.flaps_suppressed;
   Vcache.reset_stats t.cache

@@ -76,6 +76,13 @@ type config = {
           revocations witnessed over a watch poison the validation cache so
           re-presenting a known-dead certificate is refused locally. Off
           restores the historical HMAC + callback-per-check behaviour. *)
+  fail_open_chain : bool;
+      (** deliberately broken ablation for the durable decision-log chain:
+          on restart, skip verifying the durable export and keep the
+          in-memory chain, so tampering with the "disk" while the node is
+          down goes unnoticed (demonstrated in bench E17). Default off —
+          restart re-verifies the whole durable chain and refuses to
+          resume ({!Chain_tampered}) on any mismatch. *)
 }
 
 val default_config : config
@@ -171,9 +178,19 @@ val crash : t -> unit
     state — credential records, issued certificates, policy, per-role
     dependency lists — survives for {!restart} to rebuild from. *)
 
+exception Chain_tampered of { service : string; seq : int; why : string }
+(** Raised by {!restart} (fail-closed, the default) when the durable
+    export of the decision-log chain does not verify — the "disk" was
+    tampered with or truncated while the node was down. The service stays
+    crashed: building new decisions onto a forged prefix would launder the
+    forgery. [seq] is the first record that fails; [why] the cause. *)
+
 val restart : t -> unit
 (** Rebuilds subscriptions, monitors and emitters from the durable
-    credential records. Environmental constraints are re-checked on the spot
+    credential records. The durable decision-log chain is re-verified and
+    resumed first — on any mismatch the service refuses to come back
+    ({!Chain_tampered}) unless the [fail_open_chain] ablation is set.
+    Environmental constraints are re-checked on the spot
     (changes missed while down deactivate now); roles resting on remote
     credentials become {e suspect} and are re-validated by anti-entropy
     reconciliation — invalidations announced while down were never
@@ -261,6 +278,10 @@ type stats = {
       (** suspect roles reconciliation re-validated and kept active *)
   reconciled_revoked : int;
       (** suspect roles reconciliation confirmed revoked and deactivated *)
+  flaps_suppressed : int;
+      (** membership re-checks that failed the grant condition but survived
+          inside a hysteresis band ([trust.flaps_suppressed{service=..}]) —
+          each one is a revocation the gate's band absorbed *)
   cache : Oasis_cert.Validation_cache.stats;
 }
 

@@ -21,6 +21,11 @@ type trust = {
   wallets : Oasis_trust.History.t Ident.Tbl.t;
   validators : (Oasis_trust.Audit.t -> bool) Ident.Tbl.t;
   mutable trust_listeners : (Ident.t -> unit) list;
+  last_scores : float Ident.Tbl.t;
+      (* score each subject's listeners last saw: notifications that would
+         repeat it are suppressed (no-op pokes must not trigger the
+         recheck cascade) *)
+  mutable decay_tick : Oasis_sim.Engine.cancel option;
 }
 
 type t = {
@@ -39,6 +44,7 @@ type t = {
   principal_gen : Ident.gen;
   anon_gen : Ident.gen;
   trust : trust;
+  durable : Durable.t;
 }
 
 let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_latency = 0.001)
@@ -83,11 +89,15 @@ let create ?(seed = 1) ?(net_latency = 0.001) ?(net_jitter = 0.0) ?(notify_laten
         wallets = Ident.Tbl.create 16;
         validators = Ident.Tbl.create 4;
         trust_listeners = [];
+        last_scores = Ident.Tbl.create 16;
+        decay_tick = None;
       };
+    durable = Durable.create ();
   }
 
 let engine t = t.engine
 let rng t = t.rng
+let durable t = t.durable
 let obs t = t.obs
 let network t = t.network
 let broker t = t.broker
@@ -144,17 +154,21 @@ let trust_validate t cert =
 
 let on_trust_change t f = t.trust.trust_listeners <- f :: t.trust.trust_listeners
 
-let notify_trust_change t subject =
-  List.iter (fun f -> f subject) (List.rev t.trust.trust_listeners)
+let set_score_gauge t subject score =
+  Obs.Gauge.set
+    (Obs.gauge t.obs "trust.score" ~labels:[ ("subject", Ident.to_string subject) ])
+    score
 
 let assess t subject =
   let presented = Oasis_trust.History.present (wallet t subject) in
+  (* Full recompute over the wallet, seeding the assessor's running
+     aggregate so subsequent {!trust_score} reads are O(1) until the next
+     certificate arrives (then O(1) again via [Assess.observe]). *)
   let verdict =
-    Oasis_trust.Assess.assess t.trust.assessor ~validate:(trust_validate t) ~subject ~presented
+    Oasis_trust.Assess.assess_at ~remember:true t.trust.assessor ~now:(now t)
+      ~validate:(trust_validate t) ~subject ~presented
   in
-  Obs.Gauge.set
-    (Obs.gauge t.obs "trust.score" ~labels:[ ("subject", Ident.to_string subject) ])
-    verdict.Oasis_trust.Assess.score;
+  set_score_gauge t subject verdict.Oasis_trust.Assess.score;
   let bump cause n =
     if n > 0 then
       Obs.Counter.add (Obs.counter t.obs "trust.rejected" ~labels:[ ("cause", cause) ]) n
@@ -164,7 +178,25 @@ let assess t subject =
   bump "duplicate" verdict.Oasis_trust.Assess.rejected_duplicate;
   verdict
 
-let trust_score t subject = (assess t subject).Oasis_trust.Assess.score
+let trust_score t subject =
+  match Oasis_trust.Assess.cached_score t.trust.assessor ~subject ~now:(now t) with
+  | Some score ->
+      set_score_gauge t subject score;
+      score
+  | None -> (assess t subject).Oasis_trust.Assess.score
+
+(* Every trust notification flows through here. A notification whose score
+   matches what listeners already saw is a no-op poke: fanning it out
+   would re-check every trust-gated role for nothing, so it is counted and
+   dropped instead. *)
+let notify_trust_change t subject =
+  let score = trust_score t subject in
+  match Ident.Tbl.find_opt t.trust.last_scores subject with
+  | Some prev when Float.equal prev score ->
+      Obs.Counter.inc (Obs.counter t.obs "trust.notify_suppressed")
+  | _ ->
+      Ident.Tbl.replace t.trust.last_scores subject score;
+      List.iter (fun f -> f subject) (List.rev t.trust.trust_listeners)
 
 let trust_feedback t verdict ~actual =
   Oasis_trust.Assess.feedback t.trust.assessor verdict ~actual;
@@ -172,13 +204,48 @@ let trust_feedback t verdict ~actual =
      certificates contribute to; let watchers re-check. *)
   notify_trust_change t verdict.Oasis_trust.Assess.subject
 
+(* File into one party's wallet. Split from the both-parties path so a
+   registrar crash mid-issuance can leave exactly one wallet updated —
+   the inconsistency anti-entropy later repairs (idempotently, thanks to
+   wallet dedup). *)
+let file_audit_certificate t cert ~party =
+  if Oasis_trust.History.add (wallet t party) cert then begin
+    Oasis_trust.Assess.observe t.trust.assessor ~subject:party ~now:(now t) cert;
+    Obs.Counter.inc
+      (Obs.counter t.obs "trust.certificates_filed" ~labels:[ ("party", Ident.to_string party) ]);
+    notify_trust_change t party;
+    true
+  end
+  else begin
+    (* Duplicate delivery (anti-entropy replay): nothing moved, nobody is
+       poked. *)
+    notify_trust_change t party;
+    false
+  end
+
 let record_audit_certificate t cert =
   let client = cert.Oasis_trust.Audit.client and server = cert.Oasis_trust.Audit.server in
-  Oasis_trust.History.add (wallet t client) cert;
-  Oasis_trust.History.add (wallet t server) cert;
   Obs.Counter.inc (Obs.counter t.obs "trust.certificates");
-  notify_trust_change t client;
-  notify_trust_change t server
+  ignore (file_audit_certificate t cert ~party:client : bool);
+  ignore (file_audit_certificate t cert ~party:server : bool)
+
+(* Decay makes scores time-varying even with no new evidence, so the world
+   re-assesses every walleted party each [tick] and pokes only the
+   subjects whose score actually moved (the change detection above). *)
+let set_trust_decay t ~rate ~tick =
+  Oasis_trust.Assess.set_decay_rate t.trust.assessor rate;
+  (match t.trust.decay_tick with
+  | Some handle ->
+      Engine.cancel t.engine handle;
+      t.trust.decay_tick <- None
+  | None -> ());
+  if tick > 0.0 then
+    t.trust.decay_tick <-
+      Some
+        (Engine.every t.engine ~period:tick (fun () ->
+             let subjects = Ident.Tbl.fold (fun s _ acc -> s :: acc) t.trust.wallets [] in
+             List.iter (fun subject -> notify_trust_change t subject) subjects;
+             true))
 
 let run_proc t f =
   let result = ref None in

@@ -46,6 +46,11 @@ val fault : t -> Protocol.msg Oasis_sim.Fault.t
 
 val monitoring : t -> monitoring
 
+val durable : t -> Durable.t
+(** The world's simulated durable store: blobs written here survive node
+    crashes (services mirror their decision-log chains into it and resume
+    from it on restart, DESIGN.md §16). *)
+
 val authority : t -> Oasis_cert.Signed.authority
 (** The world's domain root (DESIGN.md §12): certifies per-service issuing
     keys so relying services can verify credentials offline. Stands in for
@@ -107,13 +112,33 @@ val record_audit_certificate : t -> Oasis_trust.Audit.t -> unit
 (** Files the certificate in both parties' wallets (deduplicated by id)
     and notifies trust-change listeners for both. *)
 
+val file_audit_certificate : t -> Oasis_trust.Audit.t -> party:Oasis_util.Ident.t -> bool
+(** Files the certificate in one party's wallet only, returning whether it
+    was new to that wallet. {!record_audit_certificate} is two of these; a
+    registrar crashing between them leaves exactly one wallet updated —
+    the half-issuance anti-entropy repairs by re-delivering (idempotent:
+    replaying an already-filed certificate changes nothing and pokes
+    nobody). *)
+
 val assess : t -> Oasis_util.Ident.t -> Oasis_trust.Assess.verdict
 (** Scores a party from its wallet via the world assessor, updating the
     [trust.score{subject=..}] gauge and [trust.rejected{cause=..}]
     counters. *)
 
 val trust_score : t -> Oasis_util.Ident.t -> float
-(** [(assess t subject).score]. *)
+(** The subject's current score. Served from the assessor's running
+    aggregate (one decay multiplication) whenever possible; falls back to
+    a full {!assess} of the wallet — so repeated [trust_score] env checks
+    cost O(1), not O(wallet). *)
+
+val set_trust_decay : t -> rate:float -> tick:float -> unit
+(** Configures time-decayed reputation (DESIGN.md §16): certificate
+    weights decay as [exp (-rate * age)] on the virtual clock, and every
+    [tick] virtual seconds the world re-scores all walleted parties,
+    poking only subjects whose score actually moved (trust-gated roles
+    then re-check through the ordinary env-change cascade). [tick <= 0]
+    disables the periodic re-assessment (scores still decay whenever they
+    are read). Calling again replaces the previous configuration. *)
 
 val trust_feedback : t -> Oasis_trust.Assess.verdict -> actual:Oasis_trust.Audit.outcome -> unit
 (** Reports an interaction's actual outcome against a prior verdict

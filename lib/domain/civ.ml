@@ -2,6 +2,7 @@ module Ident = Oasis_util.Ident
 module Value = Oasis_util.Value
 module Engine = Oasis_sim.Engine
 module Network = Oasis_sim.Network
+module Fault = Oasis_sim.Fault
 module Broker = Oasis_event.Broker
 module Heartbeat = Oasis_event.Heartbeat
 module Appointment = Oasis_cert.Appointment
@@ -39,12 +40,17 @@ type t = {
   replicas : replica array;
   beats : Heartbeat.emitter Ident.Tbl.t;
   mutable rr : int;
+  (* Audit certificates issued but not yet filed into both parties'
+     wallets — the window a mid-issuance crash leaves open. Restart
+     anti-entropy drains it (re-delivery is idempotent wallet-side). *)
+  mutable pending_filings : Oasis_trust.Audit.t list;
   (* Counters in the world's registry, labelled [civ=<name>]. *)
   c_forwarded : Obs.Counter.t;
   c_issues : Obs.Counter.t;
   c_revocations : Obs.Counter.t;
   c_failovers : Obs.Counter.t;
   c_exhausted : Obs.Counter.t;
+  c_reconciled : Obs.Counter.t;
 }
 
 let id t = t.router
@@ -58,7 +64,10 @@ let repl_topic t = Printf.sprintf "civ-repl:%s" (Ident.to_string t.router)
 
 let primary t = t.replicas.(0)
 
-let primary_down t = Network.is_down (World.network t.world) (primary t).node
+let primary_down t =
+  let net = World.network t.world in
+  Network.is_down net (primary t).node
+  || Fault.is_crashed (World.fault t.world) t.router
 
 (* ------------------------------------------------------------------ *)
 (* Validation, replica side                                           *)
@@ -154,6 +163,22 @@ let router_handler t =
         | _ -> Protocol.Denied (Protocol.Bad_request "CIV router only validates"));
   }
 
+(* Anti-entropy after a registrar crash: any certificate that did not
+   reach both wallets is re-delivered to both parties. Wallet filing is
+   idempotent (dedup by certificate id), so completing the already-filed
+   half changes nothing; the missing half lands and pokes its party. *)
+let reconcile_filings t =
+  let pending = t.pending_filings in
+  t.pending_filings <- [];
+  List.iter
+    (fun (cert : Oasis_trust.Audit.t) ->
+      Obs.Counter.inc t.c_reconciled;
+      ignore (World.file_audit_certificate t.world cert ~party:cert.Oasis_trust.Audit.client : bool);
+      ignore (World.file_audit_certificate t.world cert ~party:cert.Oasis_trust.Audit.server : bool))
+    pending
+
+let pending_filings t = List.length t.pending_filings
+
 (* ------------------------------------------------------------------ *)
 (* Construction                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -194,11 +219,13 @@ let create world ~name ?(replicas = 3) ?(replication = Async) ?(offline_sign = t
             });
       beats = Ident.Tbl.create 16;
       rr = 0;
+      pending_filings = [];
       c_forwarded = counter "civ.forwarded";
       c_issues = counter "civ.issues";
       c_revocations = counter "civ.revocations";
       c_failovers = counter "civ.failovers";
       c_exhausted = counter "civ.exhausted";
+      c_reconciled = counter "civ.reconciled";
     }
   in
   World.register_service world ~name router;
@@ -209,6 +236,11 @@ let create world ~name ?(replicas = 3) ?(replication = Async) ?(offline_sign = t
     ~registrar:(Oasis_trust.Registrar.id t.audit)
     (fun cert -> Oasis_trust.Registrar.validate t.audit cert);
   Network.add_node (World.network world) router (router_handler t);
+  (* Crashing the router (the cluster's stable identity) models the whole
+     registrar going down mid-issuance; restart runs wallet anti-entropy. *)
+  Fault.set_hooks (World.fault world) router
+    ~on_crash:(fun () -> ())
+    ~on_restart:(fun () -> reconcile_filings t);
   Array.iter
     (fun replica ->
       Network.add_node (World.network world) replica.node (replica_handler t replica);
@@ -334,16 +366,35 @@ let rotate_secret t =
 
 let registrar t = t.audit
 
-let record_interaction t ~client ~server ~client_outcome ~server_outcome =
+let record_interaction_steps t ~client ~server ~client_outcome ~server_outcome ~crash_mid =
   if primary_down t then raise Primary_unavailable;
   let cert =
     Oasis_trust.Registrar.record_interaction t.audit ~client ~server ~at:(World.now t.world)
       ~client_outcome ~server_outcome
   in
+  Obs.Counter.inc (Obs.counter (World.obs t.world) "trust.certificates");
   (* Live issuance (Sect. 6): the certificate lands in both parties'
-     wallets immediately and trust-gated roles re-check. *)
-  World.record_audit_certificate t.world cert;
+     wallets immediately and trust-gated roles re-check. The two filings
+     are separate durable steps; [crash_mid] injects a registrar crash
+     between them, leaving exactly one wallet updated until anti-entropy
+     runs at restart. *)
+  t.pending_filings <- cert :: t.pending_filings;
+  ignore (World.file_audit_certificate t.world cert ~party:client : bool);
+  if crash_mid then Fault.crash (World.fault t.world) t.router
+  else begin
+    ignore (World.file_audit_certificate t.world cert ~party:server : bool);
+    t.pending_filings <-
+      List.filter
+        (fun (c : Oasis_trust.Audit.t) -> not (Ident.equal c.Oasis_trust.Audit.id cert.Oasis_trust.Audit.id))
+        t.pending_filings
+  end;
   cert
+
+let record_interaction t ~client ~server ~client_outcome ~server_outcome =
+  record_interaction_steps t ~client ~server ~client_outcome ~server_outcome ~crash_mid:false
+
+let record_interaction_crashing t ~client ~server ~client_outcome ~server_outcome =
+  record_interaction_steps t ~client ~server ~client_outcome ~server_outcome ~crash_mid:true
 
 let validate_audit t cert = Oasis_trust.Registrar.validate t.audit cert
 

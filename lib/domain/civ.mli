@@ -107,9 +107,29 @@ val record_interaction :
   server_outcome:Oasis_trust.Audit.outcome ->
   Oasis_trust.Audit.t
 (** Issues the audit certificate for an interaction completed now (virtual
-    time), at the primary, and files it live into both parties' wallets via
-    {!Oasis_core.World.record_audit_certificate} (trust-gated roles
-    re-check). Raises {!Primary_unavailable} when it is down. *)
+    time), at the primary, and files it live into each party's wallet in
+    turn via {!Oasis_core.World.file_audit_certificate} (trust-gated roles
+    re-check). Raises {!Primary_unavailable} when the primary is down or
+    the cluster router has been crashed through the fault controller. *)
+
+val record_interaction_crashing :
+  t ->
+  client:Oasis_util.Ident.t ->
+  server:Oasis_util.Ident.t ->
+  client_outcome:Oasis_trust.Audit.outcome ->
+  server_outcome:Oasis_trust.Audit.outcome ->
+  Oasis_trust.Audit.t
+(** Like {!record_interaction}, but the registrar crashes between the two
+    wallet filings: the client's wallet holds the certificate, the
+    server's does not, and the cluster is down. Restarting it (via the
+    world's fault controller) runs anti-entropy, which re-delivers the
+    certificate to both wallets — filing is idempotent, so only the
+    missing half changes anything. Counted as [civ.reconciled]. *)
+
+val pending_filings : t -> int
+(** Certificates issued but not yet filed into both wallets — nonzero
+    exactly in the window between a mid-issuance crash and the restart
+    anti-entropy pass. *)
 
 val validate_audit : t -> Oasis_trust.Audit.t -> bool
 

@@ -15,6 +15,7 @@ type t = {
   clock : Clock.t;
   facts : (string, Tuple_set.t ref) Hashtbl.t;
   computed : (string, Value.t list -> bool) Hashtbl.t;
+  holds : (string, Value.t list -> bool) Hashtbl.t;
   mutable listeners : (string -> Value.t list -> [ `Asserted | `Retracted ] -> unit) list;
 }
 
@@ -55,6 +56,11 @@ let builtin_predicates =
     ("after", 1, `Timed);
     ("hour_between", 2, `Timed);
     ("trust_score", 2, `Live);
+    (* With the optional hysteresis band: trust_score(subject, theta, delta)
+       grants at score >= theta and holds existing memberships down to
+       theta - delta. The parser's [>= theta ~ delta] sugar produces this
+       form. *)
+    ("trust_score", 3, `Live);
   ]
 
 let register_builtins t =
@@ -86,7 +92,15 @@ let register_builtins t =
   reg "trust_score" (fun _ -> false)
 
 let create clock =
-  let t = { clock; facts = Hashtbl.create 64; computed = Hashtbl.create 16; listeners = [] } in
+  let t =
+    {
+      clock;
+      facts = Hashtbl.create 64;
+      computed = Hashtbl.create 16;
+      holds = Hashtbl.create 4;
+      listeners = [];
+    }
+  in
   register_builtins t;
   t
 
@@ -128,6 +142,11 @@ let register t name f =
     invalid_arg (Printf.sprintf "Env.register: %s is already a fact predicate" name);
   Hashtbl.replace t.computed name f
 
+let register_hold t name f =
+  if not (Hashtbl.mem t.computed name) then
+    invalid_arg (Printf.sprintf "Env.register_hold: %s is not a computed predicate" name);
+  Hashtbl.replace t.holds name f
+
 let strip_negation name =
   if String.length name > 0 && name.[0] = '!' then
     (true, String.sub name 1 (String.length name - 1))
@@ -147,6 +166,15 @@ let check_positive t name args =
 let check t name args =
   let negated, base = strip_negation name in
   let holds = check_positive t base args in
+  if negated then not holds else holds
+
+let check_hold t name args =
+  let negated, base = strip_negation name in
+  let holds =
+    match Hashtbl.find_opt t.holds base with
+    | Some f -> f args
+    | None -> check_positive t base args
+  in
   if negated then not holds else holds
 
 let enumerate t name =

@@ -58,12 +58,27 @@ val register : t -> string -> (Oasis_util.Value.t list -> bool) -> unit
 (** Registers a computed predicate. Shadows any same-named registration;
     raises [Invalid_argument] if the name is in use by facts. *)
 
+val register_hold : t -> string -> (Oasis_util.Value.t list -> bool) -> unit
+(** Registers the {e hold} variant of an already-registered computed
+    predicate: the laxer condition an {e existing} membership must satisfy
+    to stay active when the predicate is re-checked (gate hysteresis,
+    DESIGN.md §16). {!check} keeps answering the grant condition; only
+    {!check_hold} consults this. Raises [Invalid_argument] when [name] is
+    not a computed predicate. *)
+
 val check : t -> string -> Oasis_util.Value.t list -> bool
 (** Evaluates a ground constraint. A leading ['!'] in the name negates the
     underlying predicate (negation as failure, used for patient exceptions
     such as [!excluded(doctor, patient)]). Raises {!Unknown_predicate} for a
     name that is neither a fact predicate nor computed — a policy
     configuration error that must surface loudly. *)
+
+val check_hold : t -> string -> Oasis_util.Value.t list -> bool
+(** Like {!check} but answers the hold condition when one is registered
+    (falling back to the grant condition otherwise) — what membership
+    re-checks ask so a score dithering inside the hysteresis band does not
+    flap the revoke cascade. Negation applies to the hold answer of the
+    base predicate. New activations must still pass {!check}. *)
 
 val enumerate : t -> string -> Oasis_util.Value.t list list
 (** All ground tuples of a fact predicate (for binding free variables during

@@ -45,6 +45,13 @@ let find_service world name = List.find_opt (fun s -> String.equal s.s_name name
 let builtin name =
   List.find_opt (fun (n, _, _) -> String.equal n name) Env.builtin_predicates
 
+(* A built-in may admit several arities (trust_score with and without its
+   hysteresis band); arity checks must accept any of them. *)
+let builtin_arities name =
+  List.filter_map
+    (fun (n, a, _) -> if String.equal n name then Some a else None)
+    Env.builtin_predicates
+
 (* Variable occurrences, duplicates preserved (Term.vars dedups). *)
 let var_occurrences terms =
   List.filter_map (function Term.Var v -> Some v | Term.Const _ -> None) terms
@@ -379,18 +386,20 @@ let lint_env_arities s =
     (fun (name, args, loc) ->
       let base = Env.base_name name in
       let arity = List.length args in
-      match builtin base with
-      | Some (_, expected, _) ->
-          if arity = expected then []
+      match builtin_arities base with
+      | _ :: _ as expected ->
+          if List.mem arity expected then []
           else
             [
               arity_finding ~service:s.s_name ~loc
                 (Printf.sprintf
-                   "built-in predicate 'env:%s' takes %d argument(s) but is used with %d; \
+                   "built-in predicate 'env:%s' takes %s argument(s) but is used with %d; \
                     the constraint silently never holds"
-                   base expected arity);
+                   base
+                   (String.concat " or " (List.map string_of_int expected))
+                   arity);
             ]
-      | None -> (
+      | [] -> (
           match Hashtbl.find_opt first_seen base with
           | None ->
               Hashtbl.add first_seen base arity;

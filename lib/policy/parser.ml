@@ -31,6 +31,7 @@ type token =
   | Tcolon
   | Tbang
   | Tge (* '>=' — threshold sugar on env constraints *)
+  | Ttilde (* '~' — hysteresis-band sugar after a '>=' threshold *)
 
 exception Lex_error of int * string
 
@@ -70,6 +71,7 @@ let tokenize src =
     else if c = ';' then (push Tsemi; incr i)
     else if c = ':' then (push Tcolon; incr i)
     else if c = '!' then (push Tbang; incr i)
+    else if c = '~' then (push Ttilde; incr i)
     else if c = '<' && !i + 1 < n && src.[!i + 1] = '-' then begin
       push Tarrow;
       i := !i + 2
@@ -236,12 +238,23 @@ let condition st =
       let args = term_list st in
       (* Threshold sugar: [env:trust_score(u) >= 0.6] is exactly
          [env:trust_score(u, 0.6)] — the comparison lives inside the
-         predicate, the canonical printer emits the desugared form. *)
+         predicate, the canonical printer emits the desugared form. An
+         optional hysteresis band rides on the threshold:
+         [env:trust_score(u) >= 0.6 ~ 0.1] is [env:trust_score(u, 0.6,
+         0.1)] — grant at 0.6, hold existing memberships down to 0.5. *)
       let args =
         match peek st with
         | Some Tge ->
             advance st;
-            args @ [ term st ]
+            let threshold = term st in
+            let band =
+              match peek st with
+              | Some Ttilde ->
+                  advance st;
+                  [ term st ]
+              | _ -> []
+            in
+            args @ (threshold :: band)
         | _ -> args
       in
       (monitored, Rule.Constraint (pred, args))

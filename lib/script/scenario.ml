@@ -367,9 +367,11 @@ let exec_fault st line words =
   | [ "crash"; node ] ->
       Fault.crash fault (resolve_node st line node);
       say st "crashed %s" node
-  | [ "restart"; node ] ->
-      Fault.restart fault (resolve_node st line node);
-      say st "restarted %s" node
+  | [ "restart"; node ] -> (
+      match Fault.restart fault (resolve_node st line node) with
+      | () -> say st "restarted %s" node
+      | exception Service.Chain_tampered { service; seq; why } ->
+          fail line "restart refused: %s decision log tampered at seq %d (%s)" service seq why)
   | _ -> fail line "fault partition NAME A|B, fault heal NAME, fault crash|restart SERVICE"
 
 let show st line svc_name =
@@ -497,8 +499,11 @@ let parse_party_outcome line s =
 (* interact CLIENT SERVER CLIENT_OUTCOME [SERVER_OUTCOME] — the domain CIV's
    registrar witnesses a contracted interaction (Sect. 6) and issues the
    audit certificate live into both parties' wallets; trust-gated roles
-   re-check. One outcome token applies to both sides. *)
-let exec_interact st line = function
+   re-check. One outcome token applies to both sides. The [crash] variant
+   ([interact-crash]) injects a registrar crash between the two wallet
+   filings: the client's wallet gets the certificate, the server's misses
+   it until a later [fault restart civ] runs anti-entropy. *)
+let exec_interact st line ~crash = function
   | ([ client; server; oc ] | [ client; server; oc; _ ]) as words ->
       let client_outcome = parse_party_outcome line oc in
       let server_outcome =
@@ -507,15 +512,53 @@ let exec_interact st line = function
         | _ -> client_outcome
       in
       let c = party st line client and s = party st line server in
+      let record =
+        if crash then Civ.record_interaction_crashing else Civ.record_interaction
+      in
       let cert =
-        try Civ.record_interaction (civ st line) ~client:c ~server:s ~client_outcome ~server_outcome
+        try record (civ st line) ~client:c ~server:s ~client_outcome ~server_outcome
         with Civ.Primary_unavailable -> fail line "interact: CIV primary is down"
       in
-      say st "audit certificate %s: %s %s / %s %s" (Ident.to_string cert.Oasis_trust.Audit.id)
+      say st "audit certificate %s%s: %s %s / %s %s" (Ident.to_string cert.Oasis_trust.Audit.id)
+        (if crash then " (registrar crashed mid-issuance)" else "")
         client oc server
         (match server_outcome with Oasis_trust.Audit.Fulfilled -> "fulfilled" | _ -> "breached");
       World.settle (world st line)
   | _ -> fail line "interact takes CLIENT SERVER OUTCOME [OUTCOME]"
+
+(* trust-decay RATE [TICK] — configure time-decayed reputation on the
+   world assessor: weights decay as exp(-RATE * age); with TICK > 0 the
+   world re-scores walleted parties every TICK virtual seconds so decay
+   alone can cross gates (DESIGN.md §16). *)
+let exec_trust_decay st line = function
+  | ([ rate ] | [ rate; _ ]) as words ->
+      let parse what s =
+        match float_of_string_opt s with
+        | Some v when v >= 0.0 -> v
+        | _ -> fail line "bad %s %s" what s
+      in
+      let rate = parse "decay rate" rate in
+      let tick = match words with [ _; t ] -> parse "tick" t | _ -> 0.0 in
+      World.set_trust_decay (world st line) ~rate ~tick;
+      say st "trust decay rate %g, re-assessment tick %g" rate tick
+  | _ -> fail line "trust-decay takes RATE [TICK]"
+
+(* expect-wallet PARTY OP N over the party's wallet size — the observable
+   for half-issuance: a registrar crash between filings leaves the two
+   parties' wallets one certificate apart until anti-entropy heals them. *)
+let exec_expect_wallet st line subject op want =
+  let w = world st line in
+  let want =
+    match int_of_string_opt want with
+    | Some v -> v
+    | None -> fail line "bad wallet size %s" want
+  in
+  let compare_fn = comparator line op in
+  let got = Oasis_trust.History.size (World.wallet w (party st line subject)) in
+  if not (compare_fn got want) then
+    st.failures <-
+      Printf.sprintf "line %d: expected wallet(%s) %s %d, found %d" line subject op want got
+      :: st.failures
 
 (* expect-trust SUBJECT OP VALUE against the world assessor's live score. *)
 let exec_expect_trust st line subject op want =
@@ -660,10 +703,19 @@ let run_lines ?sink lines =
                   :: st.failures;
               step rest
           | "interact" :: tail ->
-              exec_interact st line tail;
+              exec_interact st line ~crash:false tail;
+              step rest
+          | "interact-crash" :: tail ->
+              exec_interact st line ~crash:true tail;
+              step rest
+          | "trust-decay" :: tail ->
+              exec_trust_decay st line tail;
               step rest
           | [ "expect-trust"; subject; op; v ] ->
               exec_expect_trust st line subject op v;
+              step rest
+          | [ "expect-wallet"; subject; op; n ] ->
+              exec_expect_wallet st line subject op n;
               step rest
           | [ "show"; svc_name ] ->
               show st line svc_name;

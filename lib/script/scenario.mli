@@ -55,6 +55,17 @@
     predicates re-check on every new certificate, so breaches can revoke
     trust-gated roles mid-scenario).
 
+    Trust-robustness directives (DESIGN.md §16): [trust-decay RATE [TICK]]
+    turns on time-decayed reputation — certificate weights fade as
+    [exp (-RATE * age)] on the virtual clock, and a positive TICK
+    re-scores every walleted party that often so decay alone can cross
+    gates. [interact-crash CLIENT SERVER OUTCOME [OUTCOME]] issues the
+    audit certificate but crashes the registrar between the two wallet
+    filings (client filed, server not); [fault restart civ] then runs
+    anti-entropy re-delivery, completing the missing half. [expect-wallet
+    PARTY OP N] checks a party's wallet size — the observable that makes
+    half-issuance and its repair assertable.
+
     [expect-metric KEY OP VALUE] checks a rendered registry key (see
     {!Oasis_obs.Obs.render_key}) against a number with one of [== != <= >=
     < >]; failures land in [outcome.failures] like any other expectation.

@@ -82,5 +82,17 @@ let restart t id =
     Ident.Tbl.remove t.crashed id;
     Network.set_down t.net id false;
     trace_node t "fault.restart" id;
-    match Ident.Tbl.find_opt t.hooks id with Some h -> h.on_restart () | None -> ()
+    match Ident.Tbl.find_opt t.hooks id with
+    | None -> ()
+    | Some h -> (
+        (* A restart hook that raises means the node refused to come back
+           (e.g. its durable state failed verification). Roll the node back
+           to crashed so the network view matches, then let the refusal
+           propagate. *)
+        try h.on_restart ()
+        with e ->
+          Ident.Tbl.replace t.crashed id true;
+          Network.set_down t.net id true;
+          trace_node t "fault.restart_refused" id;
+          raise e)
   end

@@ -58,6 +58,9 @@ val crash : 'msg t -> Oasis_util.Ident.t -> unit
 
 val restart : 'msg t -> Oasis_util.Ident.t -> unit
 (** Brings the node up, then runs its [on_restart] hook (if any). A no-op
-    unless the node was crashed by {!crash}. *)
+    unless the node was crashed by {!crash}. If the hook raises — the node
+    refused to resume, e.g. its durable decision-log chain failed
+    verification — the node is rolled back to crashed (network down,
+    [is_crashed] true) and the exception propagates to the caller. *)
 
 val is_crashed : 'msg t -> Oasis_util.Ident.t -> bool

@@ -35,9 +35,16 @@ type record = {
   hash : Sha256.digest;
 }
 
+(* A chain resumed from a durable export holds its pre-crash prefix as
+   opaque (payload, hash) pairs: the wire encoding is one-way, so the
+   typed fields are gone, but the bytes are exactly what re-export and
+   re-verification need, and the chain keeps extending from the same
+   head. *)
+type entry = Full of record | Imported of { payload : string; hash : Sha256.digest }
+
 type t = {
   owner : Ident.t;
-  mutable rev_records : record list; (* newest first *)
+  mutable rev_entries : entry list; (* newest first *)
   mutable length : int;
   mutable head : Sha256.digest;
 }
@@ -46,7 +53,7 @@ type t = {
    exported by one service can never verify as another's. *)
 let genesis owner = Sha256.digest_string ("oasis-decision-log:" ^ Ident.to_string owner)
 
-let create ~service = { owner = service; rev_records = []; length = 0; head = genesis service }
+let create ~service = { owner = service; rev_entries = []; length = 0; head = genesis service }
 
 let payload r =
   Wire.encode "decision"
@@ -84,7 +91,7 @@ let append t ~at ~decision ~principal ~action ?(args = []) ?(rule = "") ?(creds 
     }
   in
   let r = { r with hash = chain_hash ~prev:t.head (payload r) } in
-  t.rev_records <- r :: t.rev_records;
+  t.rev_entries <- Full r :: t.rev_entries;
   t.length <- t.length + 1;
   t.head <- r.hash;
   r
@@ -92,19 +99,35 @@ let append t ~at ~decision ~principal ~action ?(args = []) ?(rule = "") ?(creds 
 let service t = t.owner
 let length t = t.length
 let head t = t.head
-let records t = List.rev t.rev_records
-let find t ~seq = List.find_opt (fun r -> r.seq = seq) t.rev_records
+
+let records t =
+  List.rev
+    (List.filter_map (function Full r -> Some r | Imported _ -> None) t.rev_entries)
+
+let imported_count t =
+  List.length (List.filter (function Imported _ -> true | Full _ -> false) t.rev_entries)
+
+let find t ~seq =
+  List.find_opt
+    (fun r -> r.seq = seq)
+    (List.filter_map (function Full r -> Some r | Imported _ -> None) t.rev_entries)
+
+let entry_payload = function Full r -> payload r | Imported { payload; _ } -> payload
+let entry_hash = function Full r -> r.hash | Imported { hash; _ } -> hash
 
 let verify t =
-  let rec go prev = function
+  let rec go seq prev = function
     | [] -> Ok t.length
-    | r :: rest ->
-        if not (Sha256.equal r.prev prev) then Error (r.seq, "prev-hash mismatch")
-        else if not (Sha256.equal r.hash (chain_hash ~prev (payload r))) then
-          Error (r.seq, "record hash mismatch")
-        else go r.hash rest
+    | e :: rest -> (
+        match e with
+        | Full r when not (Sha256.equal r.prev prev) -> Error (r.seq, "prev-hash mismatch")
+        | _ ->
+            let expect = chain_hash ~prev (entry_payload e) in
+            if not (Sha256.equal expect (entry_hash e)) then
+              Error (seq, "record hash mismatch")
+            else go (seq + 1) expect rest)
   in
-  go (genesis t.owner) (records t)
+  go 0 (genesis t.owner) (List.rev t.rev_entries)
 
 (* Textual export: hex payloads so the file survives editors and diffs, and
    so a one-byte tamper is always visible to the verifier (bad hex parses
@@ -139,18 +162,18 @@ let string_of_hex s =
 
 let header_magic = "oasis-decision-log v1 "
 
+let export_header t = header_magic ^ Ident.to_string t.owner ^ "\n"
+
+let line_of ~body ~hash = hex_of_string body ^ " " ^ Sha256.to_hex hash ^ "\n"
+
+let export_line r = line_of ~body:(payload r) ~hash:r.hash
+
 let export t =
   let buf = Buffer.create (256 * (t.length + 1)) in
-  Buffer.add_string buf header_magic;
-  Buffer.add_string buf (Ident.to_string t.owner);
-  Buffer.add_char buf '\n';
+  Buffer.add_string buf (export_header t);
   List.iter
-    (fun r ->
-      Buffer.add_string buf (hex_of_string (payload r));
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (Sha256.to_hex r.hash);
-      Buffer.add_char buf '\n')
-    (records t);
+    (fun e -> Buffer.add_string buf (line_of ~body:(entry_payload e) ~hash:(entry_hash e)))
+    (List.rev t.rev_entries);
   Buffer.contents buf
 
 let verify_string s =
@@ -186,6 +209,45 @@ let verify_string s =
                           else go (seq + 1) expect rest))
             in
             go 0 (genesis owner) rest)
+
+let resume ~service s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  match lines with
+  | [] -> Error (0, "empty chain file")
+  | header :: rest -> (
+      let magic_len = String.length header_magic in
+      if
+        String.length header < magic_len
+        || not (String.equal (String.sub header 0 magic_len) header_magic)
+      then Error (0, "bad header")
+      else
+        let owner_s = String.sub header magic_len (String.length header - magic_len) in
+        match Ident.of_string owner_s with
+        | None -> Error (0, "unparseable service identifier in header")
+        | Some owner ->
+            if not (Ident.equal owner service) then
+              Error (0, "chain belongs to a different service")
+            else
+              let rec go seq prev acc = function
+                | [] -> Ok { owner; rev_entries = acc; length = seq; head = prev }
+                | line :: rest -> (
+                    match String.index_opt line ' ' with
+                    | None -> Error (seq, "malformed record line")
+                    | Some sp -> (
+                        let payload_hex = String.sub line 0 sp in
+                        let hash_hex = String.sub line (sp + 1) (String.length line - sp - 1) in
+                        match string_of_hex payload_hex with
+                        | None -> Error (seq, "payload is not valid hex")
+                        | Some body ->
+                            let expect = chain_hash ~prev body in
+                            if not (String.equal (Sha256.to_hex expect) hash_hex) then
+                              Error (seq, "chain hash mismatch")
+                            else
+                              go (seq + 1) expect
+                                (Imported { payload = body; hash = expect } :: acc)
+                                rest))
+              in
+              go 0 (genesis owner) [] rest)
 
 let tamper s ~byte =
   let n = String.length s in

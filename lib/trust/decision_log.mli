@@ -65,7 +65,13 @@ val head : t -> Oasis_crypto.Sha256.digest
 (** Hash of the most recent record (the genesis digest when empty). *)
 
 val records : t -> record list
-(** Oldest first. *)
+(** Oldest first. A chain rebuilt with {!resume} holds its pre-crash prefix
+    only as verified bytes, so [records] returns just the post-resume
+    (typed) records; {!length} still counts the whole chain. *)
+
+val imported_count : t -> int
+(** How many records in the chain are the opaque resumed prefix (0 for a
+    chain that never crossed a crash). *)
 
 val find : t -> seq:int -> record option
 
@@ -77,7 +83,29 @@ val export : t -> string
 (** Textual chain: a header line naming the service, then one line per
     record — hex canonical payload and hex chain hash. [prev] is implicit
     (the previous line's hash). Suitable for writing to a file and
-    re-verifying offline. *)
+    re-verifying offline. [export t = export_header t ^ concat of
+    export_line per record], which is what lets services mirror the chain
+    into their durable store incrementally — one {!export_line} per append
+    — instead of rewriting the whole export every time. *)
+
+val export_header : t -> string
+(** Just the header line (newline-terminated) — written once when the
+    durable mirror of a chain is created. *)
+
+val export_line : record -> string
+(** One record's export line (newline-terminated) — appended to the durable
+    mirror as the decision is logged. *)
+
+val resume : service:Oasis_util.Ident.t -> string -> (t, int * string) result
+(** Rebuild a chain from its durable export after a crash: verifies every
+    line against the genesis digest for [service] (a chain exported by a
+    different service is rejected outright) and returns a log whose length
+    and head continue exactly where the export stopped. The verified prefix
+    is kept as opaque bytes (the wire encoding is one-way); new appends
+    chain onto it and re-exports reproduce the prefix byte-for-byte.
+    [Error (seq, why)] is the fail-closed signal: the durable record was
+    tampered with or truncated mid-line, and the service must refuse to
+    build on it. *)
 
 val verify_string : string -> (int, int * string) result
 (** Verifies an {!export}ed chain without access to the original log.

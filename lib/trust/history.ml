@@ -11,8 +11,10 @@ let add t cert =
      inflate the wallet (and hence the beta estimate downstream). *)
   if Audit.involves cert t.owner && not (Ident.Tbl.mem t.seen cert.Audit.id) then begin
     Ident.Tbl.replace t.seen cert.Audit.id ();
-    t.certs <- cert :: t.certs
+    t.certs <- cert :: t.certs;
+    true
   end
+  else false
 
 let present t = t.certs
 

@@ -12,10 +12,13 @@ type t
 val create : Oasis_util.Ident.t -> t
 val owner : t -> Oasis_util.Ident.t
 
-val add : t -> Audit.t -> unit
+val add : t -> Audit.t -> bool
 (** Only certificates involving the owner are kept; others are ignored, as
     is any certificate whose id the wallet already holds (re-presenting one
-    favourable certificate ten times must not count it ten times). *)
+    favourable certificate ten times must not count it ten times). Returns
+    whether the certificate was actually filed — [false] means it was a
+    duplicate or did not involve the owner, so downstream aggregates need
+    no update (anti-entropy re-delivery relies on this idempotence). *)
 
 val present : t -> Audit.t list
 (** Everything, newest first. *)

@@ -7,7 +7,7 @@ type t = {
   honest : bool;
   secret : Secret.t;
   cert_gen : Ident.gen;
-  issued : unit Ident.Tbl.t;
+  issued : Audit.t Ident.Tbl.t;
   repudiated : unit Ident.Tbl.t;
   mutable validation_count : int;
 }
@@ -32,7 +32,7 @@ let issue_cert t ~client ~server ~at ~client_outcome ~server_outcome =
     Audit.issue ~secret:t.secret ~id:cert_id ~registrar:t.rid ~client ~server ~at ~client_outcome
       ~server_outcome
   in
-  Ident.Tbl.replace t.issued cert_id ();
+  Ident.Tbl.replace t.issued cert_id cert;
   cert
 
 let record_interaction t ~client ~server ~at ~client_outcome ~server_outcome =
@@ -55,4 +55,9 @@ let validate t (cert : Audit.t) =
   && Audit.verify ~secret:t.secret cert
 
 let issued_count t = Ident.Tbl.length t.issued
+
+let issued_certs t =
+  Ident.Tbl.fold (fun _ cert acc -> cert :: acc) t.issued []
+  |> List.sort (fun (a : Audit.t) (b : Audit.t) -> Ident.compare a.id b.id)
+
 let validations t = t.validation_count

@@ -105,9 +105,11 @@ let run params =
         | Colluder padding ->
             for _ = 1 to padding do
               let fake_client = Ident.make "ghost" (Rng.int rng 1000000) in
-              History.add server.s_history
-                (Registrar.fabricate rogue_registrar ~client:fake_client ~server:server.s_id
-                   ~at:now)
+              ignore
+                (History.add server.s_history
+                   (Registrar.fabricate rogue_registrar ~client:fake_client ~server:server.s_id
+                      ~at:now)
+                  : bool)
             done
         | Honest | Byzantine _ -> ())
       servers;
@@ -134,7 +136,7 @@ let run params =
           Registrar.record_interaction honest_registrar ~client:client.c_id ~server:server.s_id
             ~at:now ~client_outcome:Audit.Fulfilled ~server_outcome
         in
-        History.add server.s_history cert;
+        ignore (History.add server.s_history cert : bool);
         Assess.feedback client.assessor verdict ~actual:server_outcome
       end
       else if bad then incr bad_no

@@ -1,0 +1,131 @@
+(* Trust-churn chaos (DESIGN.md §16), driving the shared Churn core:
+   randomised interactions flap a score across a hysteresis-banded gate
+   while the registrar crashes mid-issuance, partitions isolate the trust
+   owner, and the gate crash/restarts through its durable decision-log
+   chain. The real configuration must hold every invariant on every seed;
+   the ablations must be caught by the same schedules — a δ=0 gate flaps
+   strictly more, and a fail-open chain admits the tampering the
+   fail-closed gate refuses. *)
+
+module Churn = Oasis_script.Churn
+
+(* CHAOS_QUICK=1 (make chaos-trust's sub-minute mode) trims seeds and
+   steps but keeps every assertion. *)
+let quick =
+  match Sys.getenv_opt "CHAOS_QUICK" with Some ("1" | "true") -> true | _ -> false
+
+let n_seeds = if quick then 12 else 48
+let steps = if quick then 20 else 30
+
+let config seed = { Churn.default_config with seed; steps }
+
+let test_invariants_hold () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:n_seeds ~name:"trust churn keeps gate+chain+anti-entropy"
+       QCheck.(int_range 1 100_000)
+       (fun seed ->
+         let s = Churn.run (config seed) in
+         match s.Churn.violations with
+         | [] -> true
+         | v :: _ -> QCheck.Test.fail_reportf "seed %d: %s" seed v))
+
+(* Hysteresis ablation: the same schedules with δ=0 must revoke at least
+   as often on every seed, strictly more in aggregate — and the band must
+   actually absorb flaps somewhere (vacuity guard). *)
+let test_hysteresis_bounds_revocations () =
+  let banded = ref 0 and flappy = ref 0 and suppressed = ref 0 in
+  for seed = 1 to n_seeds do
+    let with_band = Churn.run (config seed) in
+    let without = Churn.run { (config seed) with Churn.band = 0.0 } in
+    banded := !banded + with_band.Churn.cascade_deactivations;
+    flappy := !flappy + without.Churn.cascade_deactivations;
+    suppressed := !suppressed + with_band.Churn.flaps_suppressed
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "band suppressed some flaps (%d)" !suppressed)
+    true (!suppressed > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "δ=0 revokes strictly more (%d banded vs %d flappy)" !banded !flappy)
+    true
+    (!flappy > !banded)
+
+(* Tamper detection: corrupting the durable export between crash and
+   restart must refuse the restart (fail-closed), and the fail-open
+   ablation must admit exactly what fail-closed refused. *)
+let test_tamper_detected_fail_closed () =
+  let detected = ref 0 and tampered = ref 0 in
+  for seed = 1 to n_seeds do
+    let s = Churn.run { (config seed) with Churn.tamper = true } in
+    (match s.Churn.violations with
+    | [] -> ()
+    | v :: _ -> Alcotest.failf "seed %d: %s" seed v);
+    if s.Churn.tampered then begin
+      incr tampered;
+      if s.Churn.tamper_detected then incr detected
+    end
+  done;
+  Alcotest.(check bool) "some seeds actually tampered" true (!tampered > 0);
+  Alcotest.(check int)
+    (Printf.sprintf "every tampered chain was refused (%d/%d)" !detected !tampered)
+    !tampered !detected
+
+let test_tamper_admitted_fail_open () =
+  let admitted = ref 0 and tampered = ref 0 in
+  for seed = 1 to n_seeds do
+    let s =
+      Churn.run { (config seed) with Churn.tamper = true; Churn.fail_open_chain = true }
+    in
+    if s.Churn.tampered then begin
+      incr tampered;
+      if not s.Churn.tamper_detected then incr admitted
+    end
+  done;
+  Alcotest.(check bool) "some seeds actually tampered" true (!tampered > 0);
+  Alcotest.(check int)
+    (Printf.sprintf "fail-open admits every tampered chain (%d/%d)" !admitted !tampered)
+    !tampered !admitted
+
+let test_deterministic () =
+  let seeds = if quick then [ 5; 23 ] else [ 5; 23; 77 ] in
+  let traces =
+    List.map
+      (fun seed ->
+        let a = Churn.trace_line (Churn.run (config seed)) in
+        let b = Churn.trace_line (Churn.run (config seed)) in
+        Alcotest.(check string) (Printf.sprintf "seed %d replays identically" seed) a b;
+        a)
+      seeds
+  in
+  (* Vacuity guard: the schedules must issue certificates and exercise the
+     mid-issuance crash path somewhere. *)
+  let parsed field t =
+    List.exists
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+            String.sub tok 0 i = field
+            && (match int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1)) with
+               | Some v -> v > 0
+               | None -> false)
+        | None -> false)
+      (String.split_on_char ' ' t)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "churn issued certificates (%s)" (String.concat " | " traces))
+    true
+    (List.exists (parsed "n") traces);
+  Alcotest.(check bool)
+    (Printf.sprintf "churn crashed mid-issuance somewhere (%s)" (String.concat " | " traces))
+    true
+    (List.exists (parsed "mid") traces)
+
+let suite =
+  ( "chaos-trust",
+    [
+      Alcotest.test_case "churn schedules keep invariants (qcheck)" `Slow test_invariants_hold;
+      Alcotest.test_case "hysteresis bounds revocations vs δ=0" `Slow
+        test_hysteresis_bounds_revocations;
+      Alcotest.test_case "tampered chain refused fail-closed" `Slow test_tamper_detected_fail_closed;
+      Alcotest.test_case "tampered chain admitted fail-open" `Slow test_tamper_admitted_fail_open;
+      Alcotest.test_case "churn runs are deterministic" `Quick test_deterministic;
+    ] )

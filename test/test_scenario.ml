@@ -133,6 +133,87 @@ let test_expectation_failures_reported () =
   in
   Alcotest.(check int) "two failures" 2 (List.length outcome.Scenario.failures)
 
+(* Trust-robustness directives (DESIGN.md §16): half-issuance plus
+   anti-entropy heal, the hysteresis hold band, and time decay. *)
+let test_trust_churn_directives () =
+  expect_ok
+    {|
+      seed 11
+      service gate {
+        initial customer(u) <- *appt:account(u)@civ ;
+        trusted(u) <- *customer(u), *env:trust_score(u) >= 0.6 ~ 0.15 ;
+        priv order(u) <- trusted(u) ;
+      }
+      principal alice
+      principal bob
+      grant account(alice) to alice as acct
+      session alice s
+      activate alice s gate customer expect granted
+
+      # Half-issuance: the registrar crashes between the two wallet
+      # filings — exactly one wallet updated.
+      interact-crash alice bob fulfilled
+      expect-wallet alice == 1
+      expect-wallet bob == 0
+
+      # Heal: restart anti-entropy re-delivers the missing half,
+      # idempotently (alice's copy is not double-counted).
+      fault restart civ
+      settle
+      expect-wallet alice == 1
+      expect-wallet bob == 1
+
+      # Earn trust, activate through the full gate.
+      interact alice bob fulfilled
+      expect-trust alice >= 0.7
+      activate alice s gate trusted expect granted
+
+      # Two breaches: (2+1)/(4+2) = 0.5 — below the grant gate but inside
+      # the 0.15 hold band. The role survives; the flap is counted.
+      interact alice bob breached fulfilled
+      interact alice bob breached fulfilled
+      expect-trust alice < 0.6
+      expect-active gate 2
+      expect-metric trust.flaps_suppressed{service=gate} >= 1
+
+      # Re-activation uses the grant threshold, not the band.
+      invoke alice s gate order(alice) expect granted
+
+      # Decay: the score relaxes toward the 0.5 prior, which still sits
+      # inside the band — hysteresis keeps the role stable.
+      trust-decay 0.05 0.5
+      run-until 200.0
+      expect-trust alice <= 0.52
+      expect-trust alice >= 0.48
+      expect-active gate 2
+    |}
+
+(* A tight band: decay alone (no new interactions) sinks the score below
+   θ - δ, and the periodic re-assessment tick revokes the role. *)
+let test_decay_revokes_through_tick () =
+  expect_ok
+    {|
+      seed 3
+      service gate {
+        initial customer(u) <- *appt:account(u)@civ ;
+        trusted(u) <- *customer(u), *env:trust_score(u) >= 0.6 ~ 0.05 ;
+      }
+      principal alice
+      principal bob
+      grant account(alice) to alice as acct
+      session alice s
+      activate alice s gate customer expect granted
+      interact alice bob fulfilled
+      interact alice bob fulfilled
+      expect-trust alice >= 0.7
+      activate alice s gate trusted expect granted
+      expect-active gate 2
+      trust-decay 0.05 0.5
+      run-until 100.0
+      expect-trust alice < 0.55
+      expect-active gate 1
+    |}
+
 let expect_error src =
   match Scenario.run_string src with
   | Error _ -> ()
@@ -203,6 +284,8 @@ let suite =
       Alcotest.test_case "expiry" `Quick test_expiry_and_time;
       Alcotest.test_case "logout" `Quick test_logout;
       Alcotest.test_case "failures reported" `Quick test_expectation_failures_reported;
+      Alcotest.test_case "trust churn directives" `Quick test_trust_churn_directives;
+      Alcotest.test_case "decay revokes via tick" `Quick test_decay_revokes_through_tick;
       Alcotest.test_case "errors" `Quick test_errors;
       Alcotest.test_case "seed placement" `Quick test_seed_must_be_first;
       Alcotest.test_case "string/bool args" `Quick test_string_and_bool_args;

@@ -67,12 +67,15 @@ let test_rogue_fabricate_and_repudiate () =
 let test_history () =
   let reg = registrar () in
   let h = History.create server in
-  History.add h (record reg);
-  History.add h (record reg ~server_outcome:Audit.Breached);
+  Alcotest.(check bool) "filed" true (History.add h (record reg));
+  let dup = record reg ~server_outcome:Audit.Breached in
+  Alcotest.(check bool) "filed" true (History.add h dup);
+  Alcotest.(check bool) "re-filing is a no-op" false (History.add h dup);
   (* A certificate not involving the owner is ignored. *)
-  History.add h
-    (Registrar.record_interaction reg ~client ~server:(Ident.make "other" 1) ~at:2.0
-       ~client_outcome:Audit.Fulfilled ~server_outcome:Audit.Fulfilled);
+  Alcotest.(check bool) "not involving owner ignored" false
+    (History.add h
+       (Registrar.record_interaction reg ~client ~server:(Ident.make "other" 1) ~at:2.0
+          ~client_outcome:Audit.Fulfilled ~server_outcome:Audit.Fulfilled));
   Alcotest.(check int) "size" 2 (History.size h);
   Alcotest.(check int) "favourable filters breaches" 1
     (List.length (History.present_favourable h))
@@ -228,7 +231,7 @@ let test_dedup_tenfold () =
   let cert = record reg in
   let wallet = History.create client in
   for _ = 1 to 10 do
-    History.add wallet cert
+    ignore (History.add wallet cert : bool)
   done;
   Alcotest.(check int) "wallet keeps one" 1 (History.size wallet);
   let assessor = Assess.create () in
@@ -289,7 +292,126 @@ let test_decision_log_roundtrip () =
   Alcotest.(check bool) "empty log verifies" true
     (Dlog.verify (Dlog.create ~service:(Ident.make "svc" 2)) = Ok 0)
 
+(* ---------------- time-decayed assessment (DESIGN.md §16) ---------------- *)
+
+let test_decay_moves_to_prior () =
+  let reg = registrar () in
+  let a = Assess.create ~decay_rate:0.1 () in
+  let history = List.init 6 (fun i -> record reg ~at:(float_of_int i)) in
+  let score now =
+    (Assess.assess_at a ~now ~validate:(Registrar.validate reg) ~subject:client
+       ~presented:history)
+      .Assess.score
+  in
+  let fresh = score 6.0 and aged = score 60.0 and ancient = score 600.0 in
+  Alcotest.(check bool) "fresh history scores high" true (fresh > 0.7);
+  Alcotest.(check bool) "aged history decays toward the prior" true (aged < fresh && aged > 0.5);
+  Alcotest.(check (float 1e-6)) "ancient history is the prior" 0.5 ancient;
+  (* decay_rate 0 restores the timeless behaviour *)
+  let b = Assess.create () in
+  let score_b now =
+    (Assess.assess_at b ~now ~validate:(Registrar.validate reg) ~subject:client
+       ~presented:history)
+      .Assess.score
+  in
+  Alcotest.(check (float 1e-9)) "no decay: age is irrelevant" (score_b 6.0) (score_b 600.0)
+
+(* The running per-subject aggregate must agree with a full recompute of
+   the wallet, through observes and decay advances alike. *)
+let test_cached_matches_full () =
+  let reg = registrar () in
+  let a = Assess.create ~decay_rate:0.05 () in
+  let validate = Registrar.validate reg in
+  let wallet = History.create client in
+  List.iter
+    (fun c -> ignore (History.add wallet c : bool))
+    (List.init 10 (fun i ->
+         record reg ~at:(float_of_int i)
+           ~client_outcome:(if i mod 3 = 0 then Audit.Breached else Audit.Fulfilled)));
+  let full =
+    Assess.assess_at ~remember:true a ~now:10.0 ~validate ~subject:client
+      ~presented:(History.present wallet)
+  in
+  (match Assess.cached_score a ~subject:client ~now:10.0 with
+  | Some s -> Alcotest.(check (float 1e-9)) "cached = full at seed time" full.Assess.score s
+  | None -> Alcotest.fail "no cached score after remember");
+  let c2 = record reg ~at:12.0 in
+  ignore (History.add wallet c2 : bool);
+  Assess.observe a ~subject:client ~now:12.0 c2;
+  let cached =
+    match Assess.cached_score a ~subject:client ~now:25.0 with
+    | Some s -> s
+    | None -> Alcotest.fail "cache lost after observe"
+  in
+  let full2 =
+    Assess.assess_at a ~now:25.0 ~validate ~subject:client ~presented:(History.present wallet)
+  in
+  Alcotest.(check (float 1e-9)) "cached tracks the full recompute" full2.Assess.score cached
+
+(* ---------------- durable chain resume ---------------- *)
+
+let test_resume_chain () =
+  let owner = Ident.make "svc" 1 in
+  let log = sample_log 12 in
+  let blob = Buffer.create 512 in
+  Buffer.add_string blob (Dlog.export_header log);
+  List.iter (fun r -> Buffer.add_string blob (Dlog.export_line r)) (Dlog.records log);
+  (match Dlog.resume ~service:owner (Buffer.contents blob) with
+  | Error (seq, why) -> Alcotest.failf "resume failed at %d: %s" seq why
+  | Ok resumed ->
+      Alcotest.(check int) "length preserved" 12 (Dlog.length resumed);
+      Alcotest.(check int) "prefix is opaque" 12 (Dlog.imported_count resumed);
+      Alcotest.(check bool) "heads agree" true (Dlog.head resumed = Dlog.head log);
+      Alcotest.(check bool) "resumed chain verifies" true (Dlog.verify resumed = Ok 12);
+      (* Appends continue from the verified head, and the incremental
+         export line brings the durable blob along. *)
+      let r =
+        Dlog.append resumed ~at:13.0 ~decision:Dlog.Grant ~principal:client
+          ~action:"invoke:post-crash" ~args:[] ~rule:"r" ~creds:[] ~env_facts:[] ()
+      in
+      Buffer.add_string blob (Dlog.export_line r);
+      Alcotest.(check bool) "extended chain verifies" true (Dlog.verify resumed = Ok 13);
+      Alcotest.(check bool) "re-exported blob verifies" true
+        (Dlog.verify_string (Buffer.contents blob) = Ok 13);
+      Alcotest.(check bool) "second resume sees 13" true
+        (match Dlog.resume ~service:owner (Buffer.contents blob) with
+        | Ok again -> Dlog.length again = 13 && Dlog.head again = Dlog.head resumed
+        | Error _ -> false));
+  (* Fail closed: a chain naming some other service must not resume. *)
+  Alcotest.(check bool) "wrong owner refused" true
+    (Result.is_error (Dlog.resume ~service:(Ident.make "svc" 2) (Buffer.contents blob)))
+
 (* ---------------- qcheck properties ---------------- *)
+
+(* Aging the same evidence can only move a score toward the 0.5 prior —
+   never past it, never away from it, never out of [0, 1]. *)
+let test_prop_decay_monotone () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"decay shrinks |score - prior| monotonically"
+       QCheck.(
+         pair
+           (pair (int_range 0 15) (int_range 0 15))
+           (pair (int_range 0 100) (pair (int_range 0 200) (int_range 1 100))))
+       (fun ((fulfilled, breached), (d1, (d2, r))) ->
+         let reg = registrar () in
+         let rate = 0.002 *. float_of_int r in
+         let a = Assess.create ~decay_rate:rate () in
+         let certs outcome n base =
+           List.init n (fun i -> record reg ~at:(base +. float_of_int i) ~client_outcome:outcome)
+         in
+         let history = certs Audit.Fulfilled fulfilled 0.0 @ certs Audit.Breached breached 5.0 in
+         let now1 = 20.0 +. float_of_int d1 in
+         let now2 = now1 +. float_of_int d2 in
+         let score now =
+           (Assess.assess_at a ~now ~validate:(Registrar.validate reg) ~subject:client
+              ~presented:history)
+             .Assess.score
+         in
+         let s1 = score now1 and s2 = score now2 in
+         let bounded s = s >= 0.0 && s <= 1.0 in
+         bounded s1 && bounded s2
+         && Float.abs (s2 -. 0.5) <= Float.abs (s1 -. 0.5) +. 1e-12
+         && (s1 -. 0.5) *. (s2 -. 0.5) >= -1e-12))
 
 (* One more fulfilled interaction never lowers the subject's score. *)
 let test_prop_score_monotone () =
@@ -391,6 +513,10 @@ let suite =
       Alcotest.test_case "tenfold re-presentation" `Quick test_dedup_tenfold;
       Alcotest.test_case "rejection causes split" `Quick test_rejection_causes_split;
       Alcotest.test_case "decision log roundtrip" `Quick test_decision_log_roundtrip;
+      Alcotest.test_case "decay moves to prior" `Quick test_decay_moves_to_prior;
+      Alcotest.test_case "cached aggregate = full recompute" `Quick test_cached_matches_full;
+      Alcotest.test_case "durable chain resume" `Quick test_resume_chain;
+      Alcotest.test_case "decay monotone (qcheck)" `Quick test_prop_decay_monotone;
       Alcotest.test_case "score monotone (qcheck)" `Quick test_prop_score_monotone;
       Alcotest.test_case "dedup idempotent (qcheck)" `Quick test_prop_dedup_idempotent;
       Alcotest.test_case "weight clamped (qcheck)" `Quick test_prop_weight_clamped;

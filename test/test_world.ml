@@ -4,8 +4,13 @@ module World = Oasis_core.World
 module Service = Oasis_core.Service
 module Principal = Oasis_core.Principal
 module Protocol = Oasis_core.Protocol
+module Durable = Oasis_core.Durable
 module Civ = Oasis_domain.Civ
 module Audit = Oasis_trust.Audit
+module History = Oasis_trust.History
+module Dlog = Oasis_trust.Decision_log
+module Fault = Oasis_sim.Fault
+module Obs = Oasis_obs.Obs
 module Env = Oasis_policy.Env
 module Value = Oasis_util.Value
 module Ident = Oasis_util.Ident
@@ -225,6 +230,181 @@ let test_hour_window_role_expires () =
   World.settle world;
   Alcotest.(check int) "deactivated at 17:06" 0 (List.length (Service.active_roles svc))
 
+(* ---------------- trust robustness (DESIGN.md §16) ---------------- *)
+
+let trust_gate_world ?(band = 0.15) () =
+  let world = World.create () in
+  let civ = Civ.create world ~name:"civ" () in
+  let policy =
+    Printf.sprintf
+      "initial customer(u) <- *appt:account(u)@civ ;\n\
+       trusted(u) <- *customer(u), *env:trust_score(u) >= 0.6%s ;"
+      (if band > 0.0 then Printf.sprintf " ~ %g" band else "")
+  in
+  let gate = Service.create world ~name:"gate" ~policy () in
+  let p = Principal.create world ~name:"subject" in
+  let peer = Principal.create world ~name:"peer" in
+  let appt =
+    Civ.issue civ ~kind:"account"
+      ~args:[ Value.Id (Principal.id p) ]
+      ~holder:(Principal.id p)
+      ~holder_key:(Principal.longterm_public p) ()
+  in
+  Principal.grant_appointment p appt;
+  let s =
+    World.run_proc world (fun () ->
+        let s = Principal.start_session p in
+        (match Principal.activate p s gate ~role:"customer" () with
+        | Ok _ -> ()
+        | Error d -> Alcotest.failf "customer denied: %s" (Protocol.denial_to_string d));
+        s)
+  in
+  World.settle world;
+  (world, civ, gate, p, s, Principal.id peer)
+
+let interact world civ ~client ~server outcome =
+  ignore
+    (Civ.record_interaction civ ~client ~server ~client_outcome:outcome
+       ~server_outcome:Audit.Fulfilled
+      : Audit.t);
+  World.settle world
+
+let test_hysteresis_band () =
+  let world, civ, gate, p, s, peer = trust_gate_world () in
+  let me = Principal.id p in
+  interact world civ ~client:me ~server:peer Audit.Fulfilled;
+  interact world civ ~client:me ~server:peer Audit.Fulfilled;
+  (* (2+1)/(2+2) = 0.75 >= 0.6: the gate grants. *)
+  World.run_proc world (fun () ->
+      match Principal.activate p s gate ~role:"trusted" () with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "trusted denied at 0.75: %s" (Protocol.denial_to_string d));
+  (* Two breaches drop the score to (2+1)/(4+2) = 0.5 — below the 0.6
+     grant gate but inside the 0.15 hold band: the role survives, the
+     absorbed flap is counted. *)
+  interact world civ ~client:me ~server:peer Audit.Breached;
+  interact world civ ~client:me ~server:peer Audit.Breached;
+  Alcotest.(check int) "role survives inside the band" 2 (List.length (Service.active_roles gate));
+  Alcotest.(check bool) "flaps suppressed counted" true
+    ((Service.stats gate).Service.flaps_suppressed > 0);
+  (* Fresh activations still need the full grant threshold. *)
+  World.run_proc world (fun () ->
+      match Principal.activate p s gate ~role:"trusted" () with
+      | Ok _ -> Alcotest.fail "activation must use the grant threshold, not the hold band"
+      | Error _ -> ());
+  (* Two more breaches: (2+1)/(6+2) = 0.375 < 0.45 — out of the band. *)
+  interact world civ ~client:me ~server:peer Audit.Breached;
+  interact world civ ~client:me ~server:peer Audit.Breached;
+  Alcotest.(check int) "revoked below the band" 1 (List.length (Service.active_roles gate))
+
+(* The δ=0 gate revokes at 0.5 where the banded gate above held on. *)
+let test_no_band_flaps () =
+  let world, civ, gate, p, s, peer = trust_gate_world ~band:0.0 () in
+  let me = Principal.id p in
+  interact world civ ~client:me ~server:peer Audit.Fulfilled;
+  interact world civ ~client:me ~server:peer Audit.Fulfilled;
+  World.run_proc world (fun () ->
+      match Principal.activate p s gate ~role:"trusted" () with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "trusted denied at 0.75: %s" (Protocol.denial_to_string d));
+  interact world civ ~client:me ~server:peer Audit.Breached;
+  interact world civ ~client:me ~server:peer Audit.Breached;
+  Alcotest.(check int) "no band: revoked at 0.5" 1 (List.length (Service.active_roles gate));
+  Alcotest.(check int) "nothing suppressed" 0 (Service.stats gate).Service.flaps_suppressed
+
+(* Anti-entropy re-delivery of an already-filed certificate must not
+   cascade: the score did not move, so nobody is poked and no env-watch
+   recheck runs. *)
+let test_noop_redelivery_suppressed () =
+  let world, civ, gate, p, s, peer = trust_gate_world () in
+  let me = Principal.id p in
+  interact world civ ~client:me ~server:peer Audit.Fulfilled;
+  interact world civ ~client:me ~server:peer Audit.Fulfilled;
+  World.run_proc world (fun () ->
+      match Principal.activate p s gate ~role:"trusted" () with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "trusted denied: %s" (Protocol.denial_to_string d));
+  let cert =
+    Civ.record_interaction civ ~client:me ~server:peer ~client_outcome:Audit.Fulfilled
+      ~server_outcome:Audit.Fulfilled
+  in
+  World.settle world;
+  let before = (Service.stats gate).Service.env_rechecks in
+  Alcotest.(check bool) "genuine certs recheck the watch" true (before > 0);
+  Alcotest.(check bool) "duplicate not filed" false
+    (World.file_audit_certificate world cert ~party:me);
+  World.settle world;
+  Alcotest.(check int) "wallet unchanged" 3 (History.size (World.wallet world me));
+  Alcotest.(check int) "no recheck cascade on a no-op poke" before
+    (Service.stats gate).Service.env_rechecks;
+  match Obs.value (World.obs world) "trust.notify_suppressed" with
+  | Some v -> Alcotest.(check bool) "suppression counted" true (v >= 1.0)
+  | None -> Alcotest.fail "trust.notify_suppressed not registered"
+
+(* Registrar crash between the two wallet filings: exactly one wallet
+   updated, repaired idempotently by restart anti-entropy. *)
+let test_mid_issuance_crash_heals () =
+  let world = World.create () in
+  let civ = Civ.create world ~name:"civ" () in
+  let a = Ident.make "alice" 1 and b = Ident.make "bob" 1 in
+  let cert =
+    Civ.record_interaction_crashing civ ~client:a ~server:b ~client_outcome:Audit.Fulfilled
+      ~server_outcome:Audit.Fulfilled
+  in
+  World.settle world;
+  Alcotest.(check int) "client wallet filed" 1 (History.size (World.wallet world a));
+  Alcotest.(check int) "server wallet missed" 0 (History.size (World.wallet world b));
+  Alcotest.(check int) "one pending filing" 1 (Civ.pending_filings civ);
+  Alcotest.(check bool) "registrar is down" true
+    (match
+       Civ.record_interaction civ ~client:a ~server:b ~client_outcome:Audit.Fulfilled
+         ~server_outcome:Audit.Fulfilled
+     with
+    | _ -> false
+    | exception Civ.Primary_unavailable -> true);
+  Fault.restart (World.fault world) (Civ.id civ);
+  World.settle world;
+  Alcotest.(check int) "server wallet healed" 1 (History.size (World.wallet world b));
+  Alcotest.(check int) "client wallet not double-counted" 1 (History.size (World.wallet world a));
+  Alcotest.(check int) "nothing pending" 0 (Civ.pending_filings civ);
+  Alcotest.(check bool) "certificate still validates" true (Civ.validate_audit civ cert)
+
+(* Tampering with the durable decision-log export between crash and
+   restart: the fail-closed default refuses resume with a distinct error
+   and stays down; the fail-open ablation admits the forged chain. *)
+let test_chain_tamper_fail_closed () =
+  let run_one ~fail_open =
+    let world = World.create () in
+    let svc =
+      Service.create world ~name:"svc"
+        ~config:{ Service.default_config with fail_open_chain = fail_open }
+        ~policy:"initial r <- env:eq(1, 1);" ()
+    in
+    let p = Principal.create world ~name:"p" in
+    World.run_proc world (fun () ->
+        let s = Principal.start_session p in
+        match Principal.activate p s svc ~role:"r" () with
+        | Ok _ -> ()
+        | Error d -> Alcotest.failf "activate: %s" (Protocol.denial_to_string d));
+    Alcotest.(check bool) "chain nonempty" true (Dlog.length (Service.decision_log svc) > 0);
+    Service.crash svc;
+    let key = "dlog:" ^ Ident.to_string (Service.id svc) in
+    Alcotest.(check bool) "durable blob corrupted" true
+      (Durable.corrupt (World.durable world) key ~byte:60);
+    svc
+  in
+  let svc = run_one ~fail_open:false in
+  (match Service.restart svc with
+  | () -> Alcotest.fail "tampered chain must refuse resume"
+  | exception Service.Chain_tampered { service; _ } ->
+      Alcotest.(check string) "refusal names the service" "svc" service);
+  Alcotest.(check bool) "stays crashed (rolled back)" true (Service.is_crashed svc);
+  let ablation = run_one ~fail_open:true in
+  (match Service.restart ablation with
+  | () -> ()
+  | exception Service.Chain_tampered _ -> Alcotest.fail "fail-open ablation must admit");
+  Alcotest.(check bool) "ablation resumed" false (Service.is_crashed ablation)
+
 let suite =
   ( "world",
     [
@@ -240,4 +420,9 @@ let suite =
       Alcotest.test_case "civ audit extension" `Quick test_civ_audit_extension;
       Alcotest.test_case "remote predicate" `Quick test_remote_predicate;
       Alcotest.test_case "hour-window deactivation" `Quick test_hour_window_role_expires;
+      Alcotest.test_case "hysteresis band holds" `Quick test_hysteresis_band;
+      Alcotest.test_case "no band flaps" `Quick test_no_band_flaps;
+      Alcotest.test_case "no-op re-delivery suppressed" `Quick test_noop_redelivery_suppressed;
+      Alcotest.test_case "mid-issuance crash heals" `Quick test_mid_issuance_crash_heals;
+      Alcotest.test_case "chain tamper fail-closed" `Quick test_chain_tamper_fail_closed;
     ] )
